@@ -1,0 +1,43 @@
+# Development targets for the dynbw reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench fuzz experiments examples cover clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzzing pass over every parser/decoder.
+fuzz:
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/trace/
+	$(GO) test -fuzz=FuzzReadMultiCSV -fuzztime=10s ./internal/trace/
+	$(GO) test -fuzz=FuzzReadMessage -fuzztime=10s ./internal/signal/
+
+# Regenerate every table/figure into results/.
+experiments:
+	$(GO) run ./cmd/bwbench -parallel -out results
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/videostream
+	$(GO) run ./examples/ispgateway
+	$(GO) run ./examples/billing
+	$(GO) run ./examples/endtoend
+
+cover:
+	$(GO) test -cover ./internal/...
+
+clean:
+	rm -rf results

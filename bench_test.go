@@ -1,0 +1,125 @@
+// Package dynbw's root benchmarks regenerate every table and figure of
+// the reproduction (DESIGN.md §4): one testing.B target per experiment,
+// plus micro-benchmarks of the core data structures. Run them all with
+//
+//	go test -bench=. -benchmem
+//
+// Each experiment benchmark reports rows/op so a disappearing table shows
+// up as a regression, and validates the experiment still succeeds.
+package dynbw
+
+import (
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/harness"
+	"dynbw/internal/offline"
+	"dynbw/internal/sim"
+	"dynbw/internal/traffic"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := harness.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tb, err := e.Run()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(tb.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+		b.ReportMetric(float64(len(tb.Rows)), "rows/op")
+	}
+}
+
+func BenchmarkFig1Demand(b *testing.B)               { benchExperiment(b, "FIG1") }
+func BenchmarkFig2Strategies(b *testing.B)           { benchExperiment(b, "FIG2") }
+func BenchmarkThm6SweepB(b *testing.B)               { benchExperiment(b, "E3") }
+func BenchmarkThm6Stages(b *testing.B)               { benchExperiment(b, "E4") }
+func BenchmarkThm7SweepU(b *testing.B)               { benchExperiment(b, "E5") }
+func BenchmarkGuarantees(b *testing.B)               { benchExperiment(b, "E6") }
+func BenchmarkThm14SweepK(b *testing.B)              { benchExperiment(b, "E7") }
+func BenchmarkThm17SweepK(b *testing.B)              { benchExperiment(b, "E8") }
+func BenchmarkPhasedVsContinuous(b *testing.B)       { benchExperiment(b, "E9") }
+func BenchmarkCombined(b *testing.B)                 { benchExperiment(b, "E10") }
+func BenchmarkNoSlackAdversary(b *testing.B)         { benchExperiment(b, "E11") }
+func BenchmarkLogBLowerBound(b *testing.B)           { benchExperiment(b, "E12") }
+func BenchmarkHeuristics(b *testing.B)               { benchExperiment(b, "E13") }
+func BenchmarkGlobalVsLocalUtil(b *testing.B)        { benchExperiment(b, "E14") }
+func BenchmarkQuantizationAblation(b *testing.B)     { benchExperiment(b, "E15") }
+func BenchmarkAdaptiveAdversary(b *testing.B)        { benchExperiment(b, "E16") }
+func BenchmarkBufferSizing(b *testing.B)             { benchExperiment(b, "E17") }
+func BenchmarkWorkloadCharacterization(b *testing.B) { benchExperiment(b, "E18") }
+func BenchmarkWindowSweep(b *testing.B)              { benchExperiment(b, "E19") }
+func BenchmarkSlackSweep(b *testing.B)               { benchExperiment(b, "E20") }
+
+// --- micro-benchmarks of the building blocks ---
+
+// BenchmarkSingleSessionTick measures the per-tick cost of the paper's
+// single-session algorithm (tracker updates + quantization).
+func BenchmarkSingleSessionTick(b *testing.B) {
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	g := traffic.OnOff{Seed: 1, PeakRate: 128, MeanOn: 12, MeanOff: 20}
+	tr := traffic.ClampTrace(g.Generate(bw.Tick(b.N)+1), p.BA, p.DO)
+	alg := core.MustNewSingleSession(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := bw.Tick(i)
+		alg.Rate(t, tr.At(t), tr.At(t))
+	}
+}
+
+// BenchmarkPhasedTick measures the per-tick cost of the phased
+// multi-session algorithm at k = 16.
+func BenchmarkPhasedTick(b *testing.B) {
+	p := core.MultiParams{K: 16, BO: 256, DO: 8}
+	alg := core.MustNewPhased(p)
+	arrived := make([]bw.Bits, p.K)
+	queued := make([]bw.Bits, p.K)
+	for i := range arrived {
+		arrived[i] = bw.Bits(3 + i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Rates(bw.Tick(i), arrived, queued)
+	}
+}
+
+// BenchmarkOfflineGreedy measures the clairvoyant comparator on a
+// 4096-tick bursty trace.
+func BenchmarkOfflineGreedy(b *testing.B) {
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	g := traffic.OnOff{Seed: 5, PeakRate: 128, MeanOn: 12, MeanOff: 20}
+	tr := traffic.ClampTrace(g.Generate(4096), p.BA, p.DO)
+	op := offline.Params{B: p.BA, D: p.DO, U: p.UO, W: p.W}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := offline.Greedy(tr, op); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorRun measures end-to-end single-session simulation
+// throughput (ticks/op reported via the fixed 4096-tick trace).
+func BenchmarkSimulatorRun(b *testing.B) {
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	g := traffic.ParetoBurst{Seed: 3, Alpha: 1.5, MinBurst: 256, MeanGap: 16, SpreadTicks: 2}
+	tr := traffic.ClampTrace(g.Generate(4096), p.BA, p.DO)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(tr, core.MustNewSingleSession(p), sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynbw/internal/harness"
+)
+
+// TestGoldenResults enforces the repository's determinism claim: every
+// experiment regenerates the committed results/ tables bit-for-bit. When
+// an experiment legitimately changes, refresh the goldens with
+//
+//	go run ./cmd/bwbench -parallel -out results
+func TestGoldenResults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment")
+	}
+	goldenDir := filepath.Join("..", "..", "results")
+	if _, err := os.Stat(goldenDir); err != nil {
+		t.Skipf("no golden directory: %v", err)
+	}
+	for _, e := range harness.All() {
+		t.Run(e.ID, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join(goldenDir, strings.ToLower(e.ID)+".md"))
+			if err != nil {
+				t.Fatalf("missing golden for %s: %v (regenerate with bwbench -out results)", e.ID, err)
+			}
+			tb, err := e.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if got := tb.Markdown(); got != string(want) {
+				t.Errorf("%s drifted from results/%s.md — if intentional, regenerate the goldens",
+					e.ID, strings.ToLower(e.ID))
+			}
+		})
+	}
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := buf.String()
+	for _, id := range []string{"FIG1", "FIG2", "E3", "E13"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSubset(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "FIG2"}, &buf); err != nil {
+		t.Fatalf("run FIG2: %v", err)
+	}
+	if !strings.Contains(buf.String(), "static peak") {
+		t.Errorf("FIG2 table missing expected strategy row:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "E99"}, &buf); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunQuiet(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-run", "FIG1", "-quiet"}, &buf); err != nil {
+		t.Fatalf("run quiet: %v", err)
+	}
+	out := buf.String()
+	if strings.Contains(out, "|") {
+		t.Errorf("quiet mode printed a table:\n%s", out)
+	}
+	if !strings.Contains(out, "FIG1") {
+		t.Errorf("quiet mode missing timing line:\n%s", out)
+	}
+}
+
+func TestOutDirWritesFiles(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-run", "FIG1", "-quiet", "-out", dir}, &buf); err != nil {
+		t.Fatalf("run -out: %v", err)
+	}
+	for _, name := range []string{"fig1.md", "fig1.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("read %s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Errorf("%s is empty", name)
+		}
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-definitely-not-a-flag"}, &buf); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestRunParallelMatchesSequential(t *testing.T) {
+	var seq, par strings.Builder
+	if err := run([]string{"-run", "FIG2,E12"}, &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-run", "FIG2,E12", "-parallel"}, &par); err != nil {
+		t.Fatal(err)
+	}
+	if seq.String() != par.String() {
+		t.Error("parallel output differs from sequential")
+	}
+}

@@ -1,0 +1,46 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRunDemo(t *testing.T) {
+	for _, policy := range []string{"phased", "continuous", "combined"} {
+		t.Run(policy, func(t *testing.T) {
+			var buf strings.Builder
+			args := []string{
+				"-policy", policy, "-k", "2",
+				"-tick", "500us", "-duration", "150ms",
+			}
+			if err := run(args, &buf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			out := buf.String()
+			for _, want := range []string{"gateway", "bits served:", "session changes:"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunBadPolicy(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-policy", "nope", "-duration", "10ms"}, &buf); err == nil {
+		t.Fatal("bad policy accepted")
+	}
+}
+
+func TestRunShortDeadline(t *testing.T) {
+	var buf strings.Builder
+	start := time.Now()
+	if err := run([]string{"-k", "1", "-tick", "1ms", "-duration", "30ms"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Error("demo ran far past its duration")
+	}
+}

@@ -1,0 +1,66 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunPolicies(t *testing.T) {
+	for _, policy := range []string{"phased", "continuous", "combined"} {
+		t.Run(policy, func(t *testing.T) {
+			var buf strings.Builder
+			args := []string{"-policy", policy, "-k", "3", "-phases", "6", "-phaselen", "32"}
+			if err := run(args, &buf); err != nil {
+				t.Fatalf("run %s: %v", policy, err)
+			}
+			out := buf.String()
+			for _, want := range []string{"session changes:", "max delay:", "session  0"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("%s output missing %q:\n%s", policy, want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunFromTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "m.csv")
+	csv := "tick,session,bits\n"
+	for tick := 0; tick < 64; tick++ {
+		for s := 0; s < 2; s++ {
+			bits := "4"
+			if s == 1 {
+				bits = "2"
+			}
+			csv += strings.Join([]string{strconv.Itoa(tick), strconv.Itoa(s), bits}, ",") + "\n"
+		}
+	}
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-trace", path, "-bo", "32"}, &buf); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	if !strings.Contains(buf.String(), "sessions:          2") {
+		t.Errorf("session count not parsed from trace:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-policy", "nope"},
+		{"-trace", "/does/not/exist.csv"},
+		{"-policy", "combined", "-ba", "7"},
+		{"-k", "0"},
+	}
+	for _, args := range tests {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunDefaults(t *testing.T) {
+	var buf strings.Builder
+	if err := run(nil, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"policy:", "changes:", "max delay:", "global util:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunAllPolicies(t *testing.T) {
+	for _, policy := range []string{"single", "modified", "peak", "mean", "pertick", "periodic", "ewma"} {
+		t.Run(policy, func(t *testing.T) {
+			var buf strings.Builder
+			args := []string{"-policy", policy, "-workload", "onoff", "-ticks", "300"}
+			if err := run(args, &buf); err != nil {
+				t.Fatalf("run %s: %v", policy, err)
+			}
+		})
+	}
+}
+
+func TestRunAllWorkloads(t *testing.T) {
+	for _, w := range []string{"cbr", "onoff", "pareto", "video", "spike"} {
+		t.Run(w, func(t *testing.T) {
+			var buf strings.Builder
+			args := []string{"-workload", w, "-ticks", "300"}
+			if err := run(args, &buf); err != nil {
+				t.Fatalf("run %s: %v", w, err)
+			}
+		})
+	}
+}
+
+func TestRunTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "demand.csv")
+	if err := os.WriteFile(path, []byte("tick,bits\n0,10\n1,0\n2,30\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	if err := run([]string{"-trace", path}, &buf); err != nil {
+		t.Fatalf("run -trace: %v", err)
+	}
+	if !strings.Contains(buf.String(), "arrived bits:    40") {
+		t.Errorf("trace totals wrong:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	tests := [][]string{
+		{"-policy", "nope"},
+		{"-workload", "nope"},
+		{"-trace", "/does/not/exist.csv"},
+		{"-ba", "7"}, // not a power of two
+	}
+	for _, args := range tests {
+		var buf strings.Builder
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunPlotAndSeries(t *testing.T) {
+	seriesPath := filepath.Join(t.TempDir(), "series.csv")
+	var buf strings.Builder
+	args := []string{"-workload", "onoff", "-ticks", "400", "-plot", "-series", seriesPath}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run -plot: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"demand", "allocation", "queue"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("plot output missing %q", want)
+		}
+	}
+	data, err := os.ReadFile(seriesPath)
+	if err != nil {
+		t.Fatalf("read series: %v", err)
+	}
+	if !strings.HasPrefix(string(data), "tick,demand,allocation,queue\n") {
+		t.Errorf("series header wrong: %q", string(data[:40]))
+	}
+}

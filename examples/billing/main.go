@@ -1,0 +1,82 @@
+// Billing: the Section 4 scenario — a provider carries k sessions over a
+// public network and is billed for both total bandwidth consumption and
+// the number of bandwidth changes, while customers expect a latency
+// bound. The combined algorithm minimizes the provider's bill; this
+// example prices several strategies under a simple linear tariff.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/sim"
+	"dynbw/internal/traffic"
+)
+
+const (
+	// Tariff: what the carrier charges the provider.
+	pricePerBitAllocated = 0.001
+	pricePerChange       = 2.0
+)
+
+func main() {
+	p := core.CombinedParams{K: 6, BA: 512, DO: 8, UO: 0.5, W: 16}
+	bo := p.BA / 8
+
+	pl, err := traffic.NewPlanted(traffic.PlantedParams{
+		Seed: 31, K: p.K, BO: bo, DO: p.DO,
+		Phases: 24, PhaseLen: 64, ShufflesPerPhase: 2, Fill: 0.8,
+		GlobalLevels: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("provider carries %d sessions for %d ticks, %d bits total demand\n\n",
+		p.K, pl.Multi.Len(), pl.Multi.Aggregate().Total())
+
+	strategies := []struct {
+		name  string
+		alloc sim.MultiAllocator
+	}{
+		{"static peak split  ", staticSplit(p.K, p.BA)},
+		{"combined (Section 4)", core.MustNewCombined(p)},
+	}
+	fmt.Printf("%-21s %12s %9s %10s %12s %10s\n",
+		"strategy", "alloc bits", "changes", "max delay", "bill", "bill/bit")
+	for _, s := range strategies {
+		res, err := sim.RunMulti(pl.Multi, s.alloc, sim.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		allocated := res.Report.TotalAllocated
+		changes := res.SessionChanges()
+		bill := pricePerBitAllocated*float64(allocated) + pricePerChange*float64(changes)
+		fmt.Printf("%-21s %12d %9d %10d %12.2f %10.5f\n",
+			s.name, allocated, changes, res.Delay.Max,
+			bill, bill/float64(res.Report.TotalArrivals))
+	}
+	fmt.Println("\nThe combined algorithm pays for far less allocated bandwidth (its")
+	fmt.Println("utilization guarantee) at a bounded number of changes, keeping every")
+	fmt.Println("session within the 2*D_O latency promise.")
+}
+
+// staticSplit provisions each session an equal share of the full channel
+// forever — the no-renegotiation strawman.
+func staticSplit(k int, total bw.Rate) sim.MultiAllocator {
+	return multiAllocFunc(func(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
+		rates := make([]bw.Rate, k)
+		share := total / bw.Rate(k)
+		for i := range rates {
+			rates[i] = share
+		}
+		return rates
+	})
+}
+
+type multiAllocFunc func(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate
+
+func (f multiAllocFunc) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
+	return f(t, arrived, queued)
+}

@@ -1,0 +1,110 @@
+// Endtoend: the full system in miniature. A session's traffic flows
+// through the live runtime driver running the paper's single-session
+// algorithm; every bandwidth change the algorithm makes is signalled to a
+// three-switch path over TCP, each switch charging a software-processing
+// delay — the cost model that motivates minimizing the number of changes.
+// The example reports how much wall-clock time the session spent
+// renegotiating, and what a per-tick policy would have spent instead.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/rng"
+	"dynbw/internal/runtime"
+	"dynbw/internal/signal"
+)
+
+const (
+	hops            = 3
+	perSwitchDelay  = 2 * time.Millisecond
+	tickInterval    = time.Millisecond
+	sessionID       = 1
+	simulatedTicks  = 400
+	peakSubmitBits  = 96
+	burstProbabilty = 0.3
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// Bring up the switch path.
+	var addrs []string
+	for i := 0; i < hops; i++ {
+		sw, err := signal.NewSwitch("127.0.0.1:0", perSwitchDelay)
+		if err != nil {
+			return err
+		}
+		defer sw.Close()
+		addrs = append(addrs, sw.Addr())
+	}
+	path, err := signal.Dial(addrs, time.Second)
+	if err != nil {
+		return err
+	}
+	defer path.Close()
+
+	// The allocation policy, with its changes wired to the path.
+	params := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	var (
+		mu          sync.Mutex
+		signalTime  time.Duration
+		signalCount int
+	)
+	onChange := func(_ bw.Tick, rate bw.Rate) {
+		lat, err := path.SetRate(sessionID, rate)
+		if err != nil {
+			log.Printf("renegotiation failed: %v", err)
+			return
+		}
+		mu.Lock()
+		signalTime += lat
+		signalCount++
+		mu.Unlock()
+	}
+
+	ticker := time.NewTicker(tickInterval)
+	defer ticker.Stop()
+	driver, err := runtime.New(core.MustNewSingleSession(params), ticker.C,
+		runtime.WithChangeHandler(onChange))
+	if err != nil {
+		return err
+	}
+
+	// Submit bursty traffic in real time.
+	src := rng.New(7)
+	for i := 0; i < simulatedTicks; i++ {
+		if src.Bool(burstProbabilty) {
+			if err := driver.Submit(bw.Bits(src.Intn(peakSubmitBits))); err != nil {
+				return err
+			}
+		}
+		time.Sleep(tickInterval)
+	}
+	time.Sleep(50 * tickInterval) // drain
+	stats := driver.Shutdown()
+
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("session over a %d-switch path (%v software delay per switch):\n\n", hops, perSwitchDelay)
+	fmt.Printf("ticks:                 %d\n", stats.Ticks)
+	fmt.Printf("bits served:           %d (max delay %d ticks, guarantee %d)\n",
+		stats.Served, stats.Delay.Max, params.DA())
+	fmt.Printf("bandwidth changes:     %d\n", stats.Changes)
+	fmt.Printf("renegotiation time:    %v across %d signalled changes\n", signalTime, signalCount)
+	perTick := time.Duration(stats.Ticks) * time.Duration(hops) * perSwitchDelay
+	fmt.Printf("per-tick policy cost:  ~%v (a change every tick)\n", perTick)
+	if r, err := path.QueryRate(sessionID); err == nil {
+		fmt.Printf("final reserved rate:   %d bits/tick at every switch\n", r)
+	}
+	return nil
+}

@@ -1,0 +1,64 @@
+// Videostream: the paper's motivating single-session scenario — a
+// compressed video stream whose bandwidth requirement varies with frame
+// type and scene changes. The example compares the two static extremes of
+// Figure 2 against per-tick renegotiation and the paper's online
+// algorithm, showing how the online algorithm gets near-static change
+// counts at near-per-tick delay and utilization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dynbw/internal/baseline"
+	"dynbw/internal/core"
+	"dynbw/internal/sim"
+	"dynbw/internal/trace"
+	"dynbw/internal/traffic"
+)
+
+func main() {
+	params := core.SingleParams{BA: 1024, DO: 6, UO: 0.5, W: 12}
+
+	// An MPEG-like stream: a frame every 2 ticks, large I frames every
+	// 12 frames, occasional scene changes.
+	video := traffic.VBRVideo{
+		Seed:            7,
+		FrameInterval:   2,
+		IBits:           480,
+		PBits:           180,
+		BBits:           60,
+		Jitter:          0.25,
+		SceneChangeProb: 0.03,
+	}
+	demand := traffic.ClampTrace(video.Generate(4096), params.BA, params.DO)
+	fmt.Printf("video stream: %d ticks, %d bits, peak %d bits/tick, mean %d bits/tick\n\n",
+		demand.Len(), demand.Total(), demand.Peak(), demand.MeanCeil())
+
+	policies := []struct {
+		name  string
+		alloc sim.Allocator
+	}{
+		{"static at peak rate   ", baseline.Static{R: demand.Peak()}},
+		{"static at mean rate   ", baseline.Static{R: demand.MeanCeil()}},
+		{"renegotiate every tick", &baseline.PerTick{D: params.DO}},
+		{"paper online algorithm", core.MustNewSingleSession(params)},
+	}
+	fmt.Printf("%-24s %8s %10s %10s %8s\n", "policy", "changes", "max delay", "p99 delay", "util")
+	for _, p := range policies {
+		res, err := run(demand, p.alloc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-24s %8d %10d %10d %7.1f%%\n",
+			p.name, res.Report.Changes, res.Delay.Max, res.Delay.P99,
+			100*res.Report.GlobalUtil)
+	}
+	fmt.Println("\nThe online algorithm renegotiates far less often than per-tick")
+	fmt.Println("allocation while keeping delay within its 2*D_O guarantee and")
+	fmt.Println("utilization an order of magnitude above the static-peak scheme.")
+}
+
+func run(tr *trace.Trace, alloc sim.Allocator) (*sim.Result, error) {
+	return sim.Run(tr, alloc, sim.Options{})
+}

@@ -1,0 +1,3 @@
+module dynbw
+
+go 1.22

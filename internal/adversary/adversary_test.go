@@ -1,0 +1,125 @@
+package adversary
+
+import (
+	"testing"
+
+	"dynbw/internal/baseline"
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/offline"
+	"dynbw/internal/sim"
+)
+
+func TestDuelBasics(t *testing.T) {
+	adv := &DropSpiker{Spike: 64, Threshold: 0, MinGap: 4, MaxGap: 16}
+	alloc := sim.AllocatorFunc(func(_ bw.Tick, _, queued bw.Bits) bw.Rate {
+		return bw.CeilDiv(queued, 2)
+	})
+	res, err := Duel(alloc, adv, 200, sim.Options{})
+	if err != nil {
+		t.Fatalf("Duel: %v", err)
+	}
+	if res.Trace.Len() != 200 {
+		t.Errorf("trace len = %d", res.Trace.Len())
+	}
+	if res.Trace.Total() == 0 {
+		t.Error("adversary emitted nothing")
+	}
+	if res.Delay.Served != res.Trace.Total() {
+		t.Errorf("served %d of %d", res.Delay.Served, res.Trace.Total())
+	}
+	if adv.Fired() < 10 {
+		t.Errorf("Fired = %d, want many spikes in 200 ticks", adv.Fired())
+	}
+}
+
+func TestDuelAdaptivity(t *testing.T) {
+	// The realized trace depends on the opponent: a fast-dropping
+	// allocator gets spiked more often than one that holds bandwidth.
+	mk := func() *DropSpiker {
+		return &DropSpiker{Spike: 64, Threshold: 0, MinGap: 4, MaxGap: 64}
+	}
+	dropFast := sim.AllocatorFunc(func(_ bw.Tick, _, queued bw.Bits) bw.Rate {
+		return queued // serve everything immediately, then sit at zero
+	})
+	holder := sim.AllocatorFunc(func(_ bw.Tick, _, _ bw.Bits) bw.Rate {
+		return 8 // never drops to the threshold
+	})
+	advFast := mk()
+	if _, err := Duel(dropFast, advFast, 400, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	advHold := mk()
+	if _, err := Duel(holder, advHold, 400, sim.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if advFast.Fired() <= advHold.Fired() {
+		t.Errorf("adaptive adversary spiked the dropper %d times vs holder %d times; want more",
+			advFast.Fired(), advHold.Fired())
+	}
+}
+
+func TestDuelRejectsNegativeRate(t *testing.T) {
+	adv := &DropSpiker{Spike: 8, MinGap: 1, MaxGap: 4}
+	alloc := sim.AllocatorFunc(func(bw.Tick, bw.Bits, bw.Bits) bw.Rate { return -1 })
+	if _, err := Duel(alloc, adv, 10, sim.Options{}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+}
+
+func TestDuelNeverDrains(t *testing.T) {
+	adv := &DropSpiker{Spike: 8, MinGap: 1, MaxGap: 4}
+	alloc := sim.AllocatorFunc(func(bw.Tick, bw.Bits, bw.Bits) bw.Rate { return 0 })
+	if _, err := Duel(alloc, adv, 10, sim.Options{DrainBudget: 16}); err == nil {
+		t.Fatal("undrained duel accepted")
+	}
+}
+
+// TestSlackSeparation is the adaptive impossibility phenomenon end to
+// end: against the same adversary construction, the zero-slack per-tick
+// follower is forced into changes proportional to the spike count, while
+// the paper's slack-equipped algorithm and the clairvoyant greedy on the
+// realized trace stay within a constant factor of each other.
+func TestSlackSeparation(t *testing.T) {
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	const n = bw.Tick(2048)
+	mkAdv := func() *DropSpiker {
+		return &DropSpiker{Spike: 128, Threshold: 0, MinGap: p.DO, MaxGap: p.W}
+	}
+
+	noSlack, err := Duel(&baseline.PerTick{D: p.DO}, mkAdv(), n, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	paperAlg := core.MustNewSingleSession(p)
+	paper, err := Duel(paperAlg, mkAdv(), n, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Denominators: greedy clairvoyant on each realized trace.
+	gNoSlack, err := offline.Greedy(noSlack.Trace, offline.Params{B: p.BA, D: p.DO, U: p.UO, W: p.W})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gPaper, err := offline.Greedy(paper.Trace, offline.Params{B: p.BA, D: p.DO, U: p.UO, W: p.W})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	noSlackRatio := float64(noSlack.Schedule.Changes()) / float64(max(1, gNoSlack.Changes()))
+	paperRatio := float64(paper.Schedule.Changes()) / float64(max(1, gPaper.Changes()))
+	if noSlackRatio < 4*paperRatio {
+		t.Errorf("no separation: no-slack ratio %.1f vs paper ratio %.1f", noSlackRatio, paperRatio)
+	}
+	if paper.Delay.Max > p.DA() {
+		t.Errorf("paper delay %d exceeded %d under adaptive attack", paper.Delay.Max, p.DA())
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

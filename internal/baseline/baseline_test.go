@@ -1,0 +1,176 @@
+package baseline
+
+import (
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/sim"
+	"dynbw/internal/trace"
+	"dynbw/internal/traffic"
+)
+
+func burstyTrace() *trace.Trace {
+	g := traffic.OnOff{Seed: 1, PeakRate: 32, MeanOn: 10, MeanOff: 30}
+	return traffic.ClampTrace(g.Generate(600), 64, 8)
+}
+
+func TestStaticPeakOneChangeLowDelay(t *testing.T) {
+	tr := burstyTrace()
+	res, err := sim.Run(tr, Static{R: tr.Peak()}, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Report.Changes != 1 {
+		t.Errorf("Changes = %d, want 1", res.Report.Changes)
+	}
+	if res.Delay.Max != 0 {
+		t.Errorf("MaxDelay = %d, want 0 at peak rate", res.Delay.Max)
+	}
+	if res.Report.GlobalUtil > 0.5 {
+		t.Errorf("GlobalUtil = %v: static peak should waste bandwidth on bursty traffic",
+			res.Report.GlobalUtil)
+	}
+}
+
+func TestStaticMeanHighDelayGoodUtil(t *testing.T) {
+	tr := burstyTrace()
+	res, err := sim.Run(tr, Static{R: tr.MeanCeil()}, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Report.Changes != 1 {
+		t.Errorf("Changes = %d, want 1", res.Report.Changes)
+	}
+	if res.Delay.Max < 8 {
+		t.Errorf("MaxDelay = %d: mean-rate allocation should queue heavily", res.Delay.Max)
+	}
+	if res.Report.GlobalUtil < 0.5 {
+		t.Errorf("GlobalUtil = %v: mean-rate allocation should be well utilized",
+			res.Report.GlobalUtil)
+	}
+}
+
+func TestPerTickBoundedDelayManyChanges(t *testing.T) {
+	tr := burstyTrace()
+	const d = 4
+	res, err := sim.Run(tr, &PerTick{D: d}, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Delay.Max > d {
+		t.Errorf("MaxDelay = %d, want <= %d", res.Delay.Max, d)
+	}
+	// Renegotiating every tick: changes should be a large fraction of the
+	// busy ticks.
+	if res.Report.Changes < 50 {
+		t.Errorf("Changes = %d: per-tick policy should change constantly", res.Report.Changes)
+	}
+}
+
+func TestPerTickZeroDelayBudget(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{10, 0})
+	res, err := sim.Run(tr, &PerTick{D: 0}, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Delay.Max != 0 {
+		t.Errorf("MaxDelay = %d, want 0 with a clamped 1-tick budget", res.Delay.Max)
+	}
+}
+
+func TestPeriodicChangesAtMostOncePerPeriod(t *testing.T) {
+	tr := burstyTrace()
+	const period = 16
+	alloc := &Periodic{Period: period, D: 8}
+	res, err := sim.Run(tr, alloc, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	maxChanges := int(res.Schedule.Len()/period) + 2
+	if res.Report.Changes > maxChanges {
+		t.Errorf("Changes = %d, want <= %d (once per period)", res.Report.Changes, maxChanges)
+	}
+	if res.Delay.Served != tr.Total() {
+		t.Errorf("Served = %d, want %d", res.Delay.Served, tr.Total())
+	}
+}
+
+func TestPeriodicSustainsLoad(t *testing.T) {
+	// Constant traffic: after the first renegotiation the rate should
+	// match the arrival rate and stay put.
+	tr := trace.MustNew(func() []bw.Bits {
+		a := make([]bw.Bits, 100)
+		for i := range a {
+			a[i] = 5
+		}
+		return a
+	}())
+	alloc := &Periodic{Period: 10, D: 5}
+	res, err := sim.Run(tr, alloc, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Report.Changes > 3 {
+		t.Errorf("Changes = %d on constant traffic, want few", res.Report.Changes)
+	}
+}
+
+func TestNewEWMAValidates(t *testing.T) {
+	bad := [][4]float64{
+		{0, 2, 1.5, 4},   // alpha
+		{1.5, 2, 1.5, 4}, // alpha
+		{0.5, 1, 1.5, 4}, // band
+		{0.5, 2, 0.5, 4}, // headroom
+		{0.5, 2, 1.5, 0}, // d
+	}
+	for i, c := range bad {
+		if _, err := NewEWMA(c[0], c[1], c[2], bw.Tick(c[3])); err == nil {
+			t.Errorf("case %d: invalid EWMA params accepted", i)
+		}
+	}
+	if _, err := NewEWMA(0.2, 2, 1.5, 8); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestEWMAFewerChangesThanPerTick(t *testing.T) {
+	tr := burstyTrace()
+	ew, err := NewEWMA(0.2, 2, 1.5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ewRes, err := sim.Run(tr, ew, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run EWMA: %v", err)
+	}
+	ptRes, err := sim.Run(tr, &PerTick{D: 8}, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run PerTick: %v", err)
+	}
+	if ewRes.Report.Changes >= ptRes.Report.Changes {
+		t.Errorf("EWMA changes %d not below per-tick %d",
+			ewRes.Report.Changes, ptRes.Report.Changes)
+	}
+	if ewRes.Delay.Served != tr.Total() {
+		t.Errorf("EWMA served %d of %d", ewRes.Delay.Served, tr.Total())
+	}
+}
+
+func TestEWMASafetyValveBoundsBacklog(t *testing.T) {
+	// A single huge burst: the safety valve must kick in and clear it
+	// within roughly the delay budget.
+	arrivals := make([]bw.Bits, 60)
+	arrivals[10] = 400
+	tr := trace.MustNew(arrivals)
+	ew, err := NewEWMA(0.1, 2, 1.2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(tr, ew, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Delay.Max > 10 {
+		t.Errorf("MaxDelay = %d: safety valve failed to clear the burst", res.Delay.Max)
+	}
+}

@@ -1,0 +1,207 @@
+package bw
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildSchedule(rates []Rate) *Schedule {
+	s := &Schedule{}
+	for t, r := range rates {
+		s.Set(Tick(t), r)
+	}
+	return s
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	var s Schedule
+	if s.Len() != 0 {
+		t.Errorf("empty Len = %d", s.Len())
+	}
+	if s.Changes() != 0 {
+		t.Errorf("empty Changes = %d", s.Changes())
+	}
+	if s.At(0) != 0 || s.At(-1) != 0 || s.At(5) != 0 {
+		t.Error("empty At should be 0 everywhere")
+	}
+	if s.Integral(0, 10) != 0 {
+		t.Error("empty Integral should be 0")
+	}
+	if s.MaxRate() != 0 {
+		t.Error("empty MaxRate should be 0")
+	}
+}
+
+func TestScheduleAt(t *testing.T) {
+	s := buildSchedule([]Rate{0, 0, 4, 4, 8, 8, 2, 2})
+	want := []Rate{0, 0, 4, 4, 8, 8, 2, 2}
+	for i, w := range want {
+		if got := s.At(Tick(i)); got != w {
+			t.Errorf("At(%d) = %d, want %d", i, got, w)
+		}
+	}
+	if got := s.At(8); got != 0 {
+		t.Errorf("At(8) past end = %d, want 0", got)
+	}
+}
+
+func TestScheduleChanges(t *testing.T) {
+	tests := []struct {
+		name  string
+		rates []Rate
+		want  int
+	}{
+		{name: "all zero", rates: []Rate{0, 0, 0}, want: 0},
+		{name: "constant nonzero from start", rates: []Rate{4, 4, 4}, want: 1},
+		{name: "zero prefix then constant", rates: []Rate{0, 0, 4, 4}, want: 1},
+		{name: "two levels", rates: []Rate{4, 4, 8, 8}, want: 2},
+		{name: "up down up", rates: []Rate{2, 4, 2, 4}, want: 4},
+		{name: "drop to zero counts", rates: []Rate{4, 0, 0}, want: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := buildSchedule(tt.rates).Changes(); got != tt.want {
+				t.Errorf("Changes() = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestScheduleIntegral(t *testing.T) {
+	s := buildSchedule([]Rate{1, 1, 2, 2, 4, 4})
+	tests := []struct {
+		a, b Tick
+		want Bits
+	}{
+		{0, 6, 14},
+		{0, 0, 0},
+		{0, 1, 1},
+		{0, 2, 2},
+		{1, 3, 3},
+		{2, 6, 12},
+		{4, 6, 8},
+		{-5, 100, 14}, // clamped
+		{5, 3, 0},     // inverted
+	}
+	for _, tt := range tests {
+		if got := s.Integral(tt.a, tt.b); got != tt.want {
+			t.Errorf("Integral(%d, %d) = %d, want %d", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestScheduleSetOutOfOrderPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Set did not panic")
+		}
+	}()
+	s := &Schedule{}
+	s.Set(0, 1)
+	s.Set(2, 1) // gap
+}
+
+func TestScheduleRatesRoundTrip(t *testing.T) {
+	rates := []Rate{0, 3, 3, 0, 7, 7, 7, 1}
+	s := buildSchedule(rates)
+	got := s.Rates()
+	if len(got) != len(rates) {
+		t.Fatalf("Rates len = %d, want %d", len(got), len(rates))
+	}
+	for i := range rates {
+		if got[i] != rates[i] {
+			t.Errorf("Rates[%d] = %d, want %d", i, got[i], rates[i])
+		}
+	}
+}
+
+func TestScheduleSegments(t *testing.T) {
+	s := buildSchedule([]Rate{0, 5, 5, 9})
+	segs := s.Segments()
+	want := []Segment{{Start: 0, Rate: 0}, {Start: 1, Rate: 5}, {Start: 3, Rate: 9}}
+	if len(segs) != len(want) {
+		t.Fatalf("Segments = %v, want %v", segs, want)
+	}
+	for i := range want {
+		if segs[i] != want[i] {
+			t.Errorf("Segments[%d] = %v, want %v", i, segs[i], want[i])
+		}
+	}
+	// Mutating the copy must not affect the schedule.
+	segs[0].Rate = 99
+	if s.At(0) != 0 {
+		t.Error("Segments returned a live reference")
+	}
+}
+
+func TestScheduleMaxRate(t *testing.T) {
+	s := buildSchedule([]Rate{1, 5, 3, 5, 2})
+	if got := s.MaxRate(); got != 5 {
+		t.Errorf("MaxRate = %d, want 5", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	a := buildSchedule([]Rate{1, 1, 2})
+	b := buildSchedule([]Rate{4, 4, 4, 4})
+	total := Sum(a, b)
+	want := []Rate{5, 5, 6, 4}
+	if total.Len() != Tick(len(want)) {
+		t.Fatalf("Sum Len = %d, want %d", total.Len(), len(want))
+	}
+	for i, w := range want {
+		if got := total.At(Tick(i)); got != w {
+			t.Errorf("Sum At(%d) = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// Property: for any random rate sequence, the schedule reproduces it
+// exactly, its integral matches the brute-force sum, and Changes matches a
+// direct transition count.
+func TestScheduleProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		rates := make([]Rate, len(raw))
+		for i, v := range raw {
+			rates[i] = Rate(v % 8) // small alphabet to force repeats
+		}
+		s := buildSchedule(rates)
+		if s.Len() != Tick(len(rates)) {
+			return false
+		}
+		var sum Bits
+		changes := 0
+		prev := Rate(0)
+		for i, r := range rates {
+			if s.At(Tick(i)) != r {
+				return false
+			}
+			sum += r
+			if r != prev {
+				changes++
+				prev = r
+			}
+		}
+		if s.Integral(0, Tick(len(rates))) != sum {
+			return false
+		}
+		if s.Changes() != changes {
+			return false
+		}
+		// Window integral spot checks.
+		if len(rates) >= 2 {
+			mid := Tick(len(rates) / 2)
+			var w Bits
+			for i := Tick(1); i < mid; i++ {
+				w += rates[i]
+			}
+			if s.Integral(1, mid) != w {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

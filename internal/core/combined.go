@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/sim"
+)
+
+// CombinedParams parameterizes the combined algorithm of Section 4: k
+// sessions share a channel whose total size must satisfy a utilization
+// constraint, while every session's delay stays bounded. The offline
+// comparator serves the k streams with total bandwidth B_O, delay D_O and
+// combined utilization U_O; the online algorithm guarantees delay 2*D_O
+// and utilization U_O/3 using at most 7*B_O (phased inner algorithm) or
+// 8*B_O (continuous) total bandwidth.
+type CombinedParams struct {
+	// K is the number of sessions.
+	K int
+	// BA caps the total bandwidth (a power of two, as in Section 2).
+	BA bw.Rate
+	// DO is the offline delay bound.
+	DO bw.Tick
+	// UO is the offline combined utilization bound.
+	UO float64
+	// W is the utilization window (W >= DO).
+	W bw.Tick
+}
+
+// Validate checks the parameter constraints.
+func (p CombinedParams) Validate() error {
+	single := SingleParams{BA: p.BA, DO: p.DO, UO: p.UO, W: p.W}
+	if err := single.Validate(); err != nil {
+		return err
+	}
+	if p.K < 1 {
+		return fmt.Errorf("%w: K = %d", ErrBadParams, p.K)
+	}
+	return nil
+}
+
+// DA returns the online delay guarantee, 2*DO.
+func (p CombinedParams) DA() bw.Tick { return 2 * p.DO }
+
+// UA returns the online utilization guarantee, UO/3.
+func (p CombinedParams) UA() float64 { return p.UO / 3 }
+
+// CombinedStats counts the structural events of the combined algorithm.
+type CombinedStats struct {
+	// GlobalStages / GlobalResets mirror the single-session stage
+	// machinery applied to the aggregate arrival stream: each global
+	// reset forces at least one *global* offline change.
+	GlobalStages, GlobalResets int
+	// LocalStages counts local stage starts: the inner multi-session
+	// RESETs (each forces at least one *local* offline change by
+	// Lemma 13) plus restarts caused by the global estimate growing.
+	LocalStages int
+	// BonChanges counts changes of the global bandwidth estimate.
+	BonChanges int
+}
+
+// Combined is the hybrid algorithm of Section 4. It runs the single-
+// session stage machinery on the aggregate arrival stream to maintain a
+// total bandwidth estimate Bon (low/high trackers, power-of-two levels,
+// global stages ended when high < low), and inside each global stage runs
+// a multi-session algorithm of Section 3 with B_O = Bon — the phased one
+// (B_A = 7*B_O) by default, or the continuous one (B_A = 8*B_O) via
+// NewCombinedContinuous. A local stage ends when (1) a GLOBAL RESET
+// starts, (2) Bon grows, or (3) the inner algorithm's total regular
+// allocation exceeds 2*Bon.
+//
+// On a GLOBAL RESET the sessions' virtual queues move to a global
+// overflow channel that drains them within D_O ticks, while a new global
+// stage starts immediately (unlike the single-session RESET, which waits
+// for the queue to empty).
+type Combined struct {
+	p CombinedParams
+	// continuousInner selects the Section 3.2 inner algorithm (spill on
+	// demand with delayed REDUCE) instead of the phased one.
+	continuousInner bool
+
+	// Global stage state.
+	glow  *LowTracker
+	ghigh *HighTracker
+	bon   bw.Rate
+
+	// Inner multi-session state (B_O = bon), shared by both variants.
+	localResetTick bw.Tick
+	bir            []bw.Rate
+	bio            []bw.Rate
+	qr             []bw.Bits
+	qo             []bw.Bits
+
+	// Global overflow channel: per-session flushed queues and the
+	// temporary rates draining them.
+	gq     []bw.Bits
+	gqRate []bw.Rate
+
+	// reductions holds the continuous inner algorithm's pending REDUCE
+	// operations per session: tick -> overflow rate to withdraw.
+	reductions []map[bw.Tick]bw.Rate
+
+	stats CombinedStats
+}
+
+var _ sim.MultiAllocator = (*Combined)(nil)
+
+// NewCombined returns the combined algorithm configured by p.
+func NewCombined(p CombinedParams) (*Combined, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("combined: %w", err)
+	}
+	c := &Combined{
+		p:          p,
+		bir:        make([]bw.Rate, p.K),
+		bio:        make([]bw.Rate, p.K),
+		qr:         make([]bw.Bits, p.K),
+		qo:         make([]bw.Bits, p.K),
+		gq:         make([]bw.Bits, p.K),
+		gqRate:     make([]bw.Rate, p.K),
+		reductions: make([]map[bw.Tick]bw.Rate, p.K),
+	}
+	for i := range c.reductions {
+		c.reductions[i] = make(map[bw.Tick]bw.Rate)
+	}
+	c.startGlobalStage(0)
+	return c, nil
+}
+
+// NewCombinedContinuous returns the Section 4 algorithm with the
+// continuous multi-session algorithm (Section 3.2) inside each global
+// stage, matching the paper's B_A = 8*B_O variant.
+func NewCombinedContinuous(p CombinedParams) (*Combined, error) {
+	c, err := NewCombined(p)
+	if err != nil {
+		return nil, err
+	}
+	c.continuousInner = true
+	return c, nil
+}
+
+// MustNewCombinedContinuous is NewCombinedContinuous but panics on error.
+func MustNewCombinedContinuous(p CombinedParams) *Combined {
+	c, err := NewCombinedContinuous(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// MustNewCombined is NewCombined but panics on error.
+func MustNewCombined(p CombinedParams) *Combined {
+	c, err := NewCombined(p)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Combined) startGlobalStage(t bw.Tick) {
+	c.glow = NewLowTracker(c.p.DO)
+	c.ghigh = NewHighTracker(c.p.W, c.p.UO, c.p.BA)
+	c.bon = 0
+	c.stats.GlobalStages++
+	c.startLocalStage(t)
+}
+
+func (c *Combined) startLocalStage(t bw.Tick) {
+	share := c.share()
+	for i := range c.bir {
+		c.bir[i] = share
+		if !c.continuousInner {
+			c.bio[i] = 0
+		}
+	}
+	c.localResetTick = t
+	c.stats.LocalStages++
+}
+
+// share returns the per-session regular quantum Bon/k (at least 1 once
+// any bandwidth is needed).
+func (c *Combined) share() bw.Rate {
+	if c.bon == 0 {
+		return 0
+	}
+	return bw.CeilDiv(c.bon, int64(c.p.K))
+}
+
+// Rates implements sim.MultiAllocator.
+func (c *Combined) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
+	k := c.p.K
+	do := c.p.DO
+
+	// Drain the global overflow channel.
+	for i := 0; i < k; i++ {
+		if c.gq[i] == 0 {
+			c.gqRate[i] = 0
+			continue
+		}
+		c.gq[i] -= bw.Min(c.gq[i], c.gqRate[i])
+		if c.gq[i] == 0 {
+			c.gqRate[i] = 0
+		}
+	}
+
+	// Global stage bookkeeping on the aggregate stream.
+	var agg bw.Bits
+	for _, a := range arrived {
+		agg += a
+	}
+	glow := c.glow.Observe(agg)
+	ghigh := c.ghigh.Observe(agg)
+	if ghigh < glow {
+		// GLOBAL RESET: flush every session queue to the global overflow
+		// channel (drained within DO) and start a fresh global stage
+		// immediately.
+		for i := 0; i < k; i++ {
+			c.gq[i] += c.qr[i] + c.qo[i]
+			c.qr[i], c.qo[i] = 0, 0
+			if c.gq[i] > 0 {
+				c.gqRate[i] = bw.CeilDiv(c.gq[i], do)
+			}
+		}
+		c.stats.GlobalResets++
+		c.startGlobalStage(t)
+	} else if glow > 0 {
+		want := bw.NextPow2(glow)
+		if want > c.p.BA {
+			want = c.p.BA
+		}
+		if want > c.bon {
+			// The global estimate grows: a new local stage starts.
+			c.bon = want
+			c.stats.BonChanges++
+			c.startLocalStage(t)
+		}
+	}
+
+	if c.continuousInner {
+		c.innerContinuous(t, arrived)
+	} else {
+		c.innerPhased(t)
+	}
+
+	out := make([]bw.Rate, k)
+	for i := 0; i < k; i++ {
+		if !c.continuousInner {
+			c.qr[i] += arrived[i]
+		}
+		out[i] = c.bir[i] + c.bio[i] + c.gqRate[i]
+	}
+	// Advance the virtual queues.
+	for i := 0; i < k; i++ {
+		c.qo[i] -= bw.Min(c.qo[i], c.bio[i])
+		c.qr[i] -= bw.Min(c.qr[i], c.bir[i])
+	}
+	return out
+}
+
+// innerPhased is the Figure 4 inner algorithm with B_O = bon.
+func (c *Combined) innerPhased(t bw.Tick) {
+	k := c.p.K
+	do := c.p.DO
+	if c.bon > 0 && t > c.localResetTick && (t-c.localResetTick)%do == 0 {
+		var totalRegular bw.Rate
+		for i := 0; i < k; i++ {
+			if c.qr[i] <= c.bir[i]*do {
+				c.bio[i] = 0
+			} else {
+				c.bir[i] += c.share()
+				c.qo[i] += c.qr[i]
+				c.qr[i] = 0
+				c.bio[i] = bw.CeilDiv(c.qo[i], do)
+			}
+			totalRegular += c.bir[i]
+		}
+		if totalRegular > 2*c.bon {
+			for i := 0; i < k; i++ {
+				c.qo[i] += c.qr[i]
+				c.qr[i] = 0
+				c.bio[i] = bw.CeilDiv(c.qo[i], do)
+			}
+			c.startLocalStage(t)
+		}
+	}
+}
+
+// innerContinuous is the Figure 5 inner algorithm with B_O = bon: spill a
+// session's regular queue on demand and withdraw the overflow grant D_O
+// ticks later.
+func (c *Combined) innerContinuous(t bw.Tick, arrived []bw.Bits) {
+	k := c.p.K
+	do := c.p.DO
+	for i := 0; i < k; i++ {
+		if amt, ok := c.reductions[i][t]; ok {
+			c.bio[i] -= amt
+			if c.bio[i] < 0 {
+				c.bio[i] = 0
+			}
+			delete(c.reductions[i], t)
+		}
+	}
+	grew := false
+	for i := 0; i < k; i++ {
+		c.qr[i] += arrived[i]
+		if arrived[i] == 0 || c.bon == 0 {
+			continue
+		}
+		if c.qr[i] > c.bir[i]*do {
+			c.bir[i] += c.share()
+			c.spillContinuous(i, t)
+			grew = true
+		}
+	}
+	if grew {
+		var totalRegular bw.Rate
+		for i := 0; i < k; i++ {
+			totalRegular += c.bir[i]
+		}
+		if totalRegular > 2*c.bon {
+			for i := 0; i < k; i++ {
+				c.spillContinuous(i, t)
+			}
+			c.startLocalStage(t)
+		}
+	}
+}
+
+// spillContinuous moves session i's regular queue to the overflow channel
+// with a temporary grant withdrawn D_O ticks later.
+func (c *Combined) spillContinuous(i int, t bw.Tick) {
+	q := c.qr[i]
+	if q == 0 {
+		return
+	}
+	c.qo[i] += q
+	c.qr[i] = 0
+	grant := bw.CeilDiv(q, c.p.DO)
+	c.bio[i] += grant
+	c.reductions[i][t+c.p.DO] += grant
+}
+
+// Stats returns the structural counters accumulated so far.
+func (c *Combined) Stats() CombinedStats { return c.stats }
+
+// Params returns the configuration.
+func (c *Combined) Params() CombinedParams { return c.p }

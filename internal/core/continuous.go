@@ -1,0 +1,154 @@
+package core
+
+import (
+	"fmt"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/sim"
+)
+
+// Continuous is the multi-session continuous algorithm of Section 3.2
+// (Figure 5). Total bandwidth B_A = 5*B_O: a regular channel of 2*B_O and
+// an overflow channel of 3*B_O. Unlike the phased algorithm it
+// renegotiates on demand: whenever bits are added to a session's regular
+// queue and the queue exceeds what its regular allocation can drain in
+// D_O ticks, the session's regular allocation is raised by B_O/k, the
+// queue is moved to the overflow channel, and a temporary overflow
+// allocation sized to drain it within D_O ticks is granted and then
+// withdrawn (REDUCE) D_O ticks later. When the total regular allocation
+// exceeds 2*B_O the stage ends (Lemma 13 applies as in the phased case).
+//
+// Theorem 17: at most 3k online changes per offline change, with
+// B_A = 5*B_O and D_A = 2*D_O. Virtual queue accounting follows the same
+// FIFO "renaming" convention as Phased.
+type Continuous struct {
+	p MultiParams
+
+	bir   []bw.Rate
+	bio   []bw.Rate
+	qr    []bw.Bits
+	qo    []bw.Bits
+	rates []bw.Rate
+
+	// reductions[i] holds pending REDUCE operations for session i as
+	// (tick, amount) pairs: at `tick`, bio[i] -= amount.
+	reductions []map[bw.Tick]bw.Rate
+
+	stats MultiStats
+}
+
+var _ sim.MultiAllocator = (*Continuous)(nil)
+
+// NewContinuous returns the continuous algorithm configured by p.
+func NewContinuous(p MultiParams) (*Continuous, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("continuous: %w", err)
+	}
+	a := &Continuous{
+		p:          p,
+		bir:        make([]bw.Rate, p.K),
+		bio:        make([]bw.Rate, p.K),
+		qr:         make([]bw.Bits, p.K),
+		qo:         make([]bw.Bits, p.K),
+		rates:      make([]bw.Rate, p.K),
+		reductions: make([]map[bw.Tick]bw.Rate, p.K),
+	}
+	for i := range a.reductions {
+		a.reductions[i] = make(map[bw.Tick]bw.Rate)
+	}
+	a.reset()
+	return a, nil
+}
+
+// MustNewContinuous is NewContinuous but panics on error.
+func MustNewContinuous(p MultiParams) *Continuous {
+	a, err := NewContinuous(p)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func (a *Continuous) reset() {
+	share := a.p.Share()
+	for i := range a.bir {
+		a.bir[i] = share
+	}
+	a.stats.Stages++
+}
+
+// spill moves session i's regular queue to the overflow channel and
+// grants a temporary overflow allocation that is withdrawn DO ticks later.
+func (a *Continuous) spill(i int, t bw.Tick) {
+	q := a.qr[i]
+	if q == 0 {
+		return
+	}
+	a.qo[i] += q
+	a.qr[i] = 0
+	grant := bw.CeilDiv(q, a.p.DO)
+	a.bio[i] += grant
+	a.reductions[i][t+a.p.DO] += grant
+}
+
+// Rates implements sim.MultiAllocator.
+func (a *Continuous) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
+	k := a.p.K
+	do := a.p.DO
+
+	// Apply matured REDUCE operations first.
+	for i := 0; i < k; i++ {
+		if amt, ok := a.reductions[i][t]; ok {
+			a.bio[i] -= amt
+			if a.bio[i] < 0 {
+				a.bio[i] = 0
+			}
+			delete(a.reductions[i], t)
+		}
+	}
+
+	// TEST(i) on every arrival batch.
+	grew := false
+	for i := 0; i < k; i++ {
+		if arrived[i] == 0 {
+			continue
+		}
+		a.qr[i] += arrived[i]
+		if a.qr[i] > a.bir[i]*do {
+			a.bir[i] += a.p.Share()
+			a.spill(i, t)
+			grew = true
+		}
+	}
+	if grew {
+		var totalRegular bw.Rate
+		for i := 0; i < k; i++ {
+			totalRegular += a.bir[i]
+		}
+		if totalRegular > 2*a.p.BO {
+			for i := 0; i < k; i++ {
+				a.spill(i, t)
+			}
+			a.stats.Resets++
+			a.reset()
+		}
+	}
+
+	for i := 0; i < k; i++ {
+		a.rates[i] = a.bir[i] + a.bio[i]
+	}
+	// Advance the virtual queues: each channel serves its own queue.
+	for i := 0; i < k; i++ {
+		a.qo[i] -= bw.Min(a.qo[i], a.bio[i])
+		a.qr[i] -= bw.Min(a.qr[i], a.bir[i])
+	}
+	out := make([]bw.Rate, k)
+	copy(out, a.rates)
+	return out
+}
+
+// Stats returns the structural counters accumulated so far.
+func (a *Continuous) Stats() MultiStats { return a.stats }
+
+// Params returns the configuration.
+func (a *Continuous) Params() MultiParams { return a.p }

@@ -1,0 +1,51 @@
+package core
+
+import (
+	"dynbw/internal/bw"
+)
+
+// CumHighTracker is the global-utilization counterpart of HighTracker:
+// under the assumption that the offline algorithm has kept one constant
+// allocation b for the whole stage, global utilization U_O requires the
+// stage's total arrivals to cover U_O * b * (stage age), so
+//
+//	high(t) = floor( stage arrivals / (U_O * age) )
+//
+// capped at B_A, and uninformative (the cap) until the stage is at least
+// warmup ticks old — without a warm-up, a single slow tick would end
+// every stage immediately.
+type CumHighTracker struct {
+	warmup bw.Tick
+	uo     float64
+	cap    bw.Rate
+
+	age bw.Tick
+	sum bw.Bits
+}
+
+// NewCumHighTracker returns a tracker with the given warm-up (the
+// utilization window W doubles as the warm-up length), offline
+// utilization, and bandwidth cap.
+func NewCumHighTracker(warmup bw.Tick, uo float64, cap bw.Rate) *CumHighTracker {
+	return &CumHighTracker{warmup: warmup, uo: uo, cap: cap}
+}
+
+// Observe records the arrivals of the next stage tick and returns the
+// updated high value.
+func (ct *CumHighTracker) Observe(arrived bw.Bits) bw.Rate {
+	ct.age++
+	ct.sum += arrived
+	return ct.High()
+}
+
+// High returns the current high value.
+func (ct *CumHighTracker) High() bw.Rate {
+	if ct.age < ct.warmup {
+		return ct.cap
+	}
+	h := bw.Rate(float64(ct.sum) / (ct.uo * float64(ct.age)))
+	if h > ct.cap {
+		return ct.cap
+	}
+	return h
+}

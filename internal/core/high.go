@@ -1,0 +1,70 @@
+package core
+
+import (
+	"dynbw/internal/bw"
+)
+
+// HighTracker incrementally computes the paper's high(t): the largest
+// bandwidth allocation that would still meet the utilization bound UO over
+// every complete window of W ticks inside the current stage, under the
+// assumption that the offline algorithm has not changed its allocation
+// since the stage started. Before the first complete window, high(t) is
+// the cap B_A.
+//
+// In the discrete model, once at least W ticks of the stage have been
+// observed:
+//
+//	high(t) = floor( min over complete windows of IN(window) / (UO * W) )
+//
+// capped at B_A. high is non-increasing after its first finite value
+// because the min over windows only shrinks.
+type HighTracker struct {
+	w   bw.Tick
+	uo  float64
+	cap bw.Rate
+
+	ring  []bw.Bits
+	next  int
+	count bw.Tick
+	sum   bw.Bits
+
+	minWin  bw.Bits
+	haveMin bool
+}
+
+// NewHighTracker returns a tracker for a stage with utilization window w,
+// offline utilization uo, and bandwidth cap cap.
+func NewHighTracker(w bw.Tick, uo float64, cap bw.Rate) *HighTracker {
+	return &HighTracker{w: w, uo: uo, cap: cap, ring: make([]bw.Bits, w)}
+}
+
+// Observe records the arrivals of the next tick of the stage and returns
+// the updated high value.
+func (ht *HighTracker) Observe(arrived bw.Bits) bw.Rate {
+	if ht.count >= ht.w {
+		ht.sum -= ht.ring[ht.next]
+	}
+	ht.ring[ht.next] = arrived
+	ht.next = (ht.next + 1) % int(ht.w)
+	ht.sum += arrived
+	ht.count++
+	if ht.count >= ht.w {
+		if !ht.haveMin || ht.sum < ht.minWin {
+			ht.minWin = ht.sum
+			ht.haveMin = true
+		}
+	}
+	return ht.High()
+}
+
+// High returns the current high value.
+func (ht *HighTracker) High() bw.Rate {
+	if !ht.haveMin {
+		return ht.cap
+	}
+	h := bw.Rate(float64(ht.minWin) / (ht.uo * float64(ht.w)))
+	if h > ht.cap {
+		return ht.cap
+	}
+	return h
+}

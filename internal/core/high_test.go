@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynbw/internal/bw"
+)
+
+func TestHighTrackerBeforeWindowIsCap(t *testing.T) {
+	ht := NewHighTracker(4, 0.5, 64)
+	for i := 0; i < 3; i++ {
+		if got := ht.Observe(10); got != 64 {
+			t.Errorf("tick %d: high = %d, want cap 64", i, got)
+		}
+	}
+}
+
+func TestHighTrackerFirstWindow(t *testing.T) {
+	// W=4, UO=0.5: first complete window of arrivals 10 each has sum 40;
+	// high = floor(40 / (0.5*4)) = 20.
+	ht := NewHighTracker(4, 0.5, 64)
+	var got bw.Rate
+	for i := 0; i < 4; i++ {
+		got = ht.Observe(10)
+	}
+	if got != 20 {
+		t.Errorf("high = %d, want 20", got)
+	}
+}
+
+func TestHighTrackerTracksMinWindow(t *testing.T) {
+	ht := NewHighTracker(2, 1.0, 1000)
+	ht.Observe(10)
+	ht.Observe(10) // window sum 20 -> high 10
+	if got := ht.High(); got != 10 {
+		t.Errorf("high = %d, want 10", got)
+	}
+	ht.Observe(0) // window {10,0} = 10 -> high 5
+	if got := ht.High(); got != 5 {
+		t.Errorf("high = %d, want 5", got)
+	}
+	ht.Observe(100) // window {0,100} = 100, but min stays 10 -> high 5
+	if got := ht.High(); got != 5 {
+		t.Errorf("high after large window = %d, want 5 (min is sticky)", got)
+	}
+}
+
+func TestHighTrackerCapApplies(t *testing.T) {
+	ht := NewHighTracker(2, 0.001, 8)
+	ht.Observe(1000)
+	ht.Observe(1000)
+	if got := ht.High(); got != 8 {
+		t.Errorf("high = %d, want cap 8", got)
+	}
+}
+
+func TestHighTrackerZeroWindowArrivals(t *testing.T) {
+	ht := NewHighTracker(2, 0.5, 100)
+	ht.Observe(0)
+	ht.Observe(0)
+	if got := ht.High(); got != 0 {
+		t.Errorf("high with empty window = %d, want 0", got)
+	}
+}
+
+// Property: once the first complete window has been seen, high is
+// non-increasing, and always equals floor(minWindowSum / (UO*W)) capped.
+func TestHighTrackerProperty(t *testing.T) {
+	f := func(raw []uint8, wRaw, uRaw uint8) bool {
+		w := bw.Tick(wRaw%6) + 1
+		uo := float64(uRaw%10+1) / 10
+		const cap = bw.Rate(1 << 20)
+		ht := NewHighTracker(w, uo, cap)
+		arrivals := make([]bw.Bits, len(raw))
+		for i, v := range raw {
+			arrivals[i] = bw.Bits(v)
+		}
+		prev := cap
+		started := false
+		for i := range arrivals {
+			got := ht.Observe(arrivals[i])
+			if bw.Tick(i+1) >= w {
+				// Reference: min over complete windows so far.
+				var minSum bw.Bits = -1
+				for a := bw.Tick(0); a+w <= bw.Tick(i+1); a++ {
+					var s bw.Bits
+					for j := a; j < a+w; j++ {
+						s += arrivals[j]
+					}
+					if minSum < 0 || s < minSum {
+						minSum = s
+					}
+				}
+				want := bw.Rate(float64(minSum) / (uo * float64(w)))
+				if want > cap {
+					want = cap
+				}
+				if got != want {
+					return false
+				}
+				if started && got > prev {
+					return false
+				}
+				started = true
+				prev = got
+			} else if got != cap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

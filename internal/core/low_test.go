@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"dynbw/internal/bw"
+)
+
+func TestLowTrackerSimpleCases(t *testing.T) {
+	tests := []struct {
+		name     string
+		d        bw.Tick
+		arrivals []bw.Bits
+		want     []bw.Rate // low after each tick
+	}{
+		{
+			name:     "single burst",
+			d:        4,
+			arrivals: []bw.Bits{10},
+			want:     []bw.Rate{2}, // 10/(1+4) = 2
+		},
+		{
+			name:     "steady",
+			d:        1,
+			arrivals: []bw.Bits{4, 4, 4},
+			// t0: 4/2=2; t1: max(2, 8/3->3, 4/2=2)=3; t2: 12/4=3, 8/3->3
+			want: []bw.Rate{2, 3, 3},
+		},
+		{
+			name:     "monotone despite idle",
+			d:        2,
+			arrivals: []bw.Bits{9, 0, 0, 0},
+			want:     []bw.Rate{3, 3, 3, 3},
+		},
+		{
+			name:     "zero arrivals",
+			d:        3,
+			arrivals: []bw.Bits{0, 0},
+			want:     []bw.Rate{0, 0},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			lt := NewLowTracker(tt.d)
+			for i, a := range tt.arrivals {
+				if got := lt.Observe(a); got != tt.want[i] {
+					t.Errorf("tick %d: low = %d, want %d", i, got, tt.want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestLowTrackerMatchesNaive(t *testing.T) {
+	f := func(raw []uint8, dRaw uint8) bool {
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		d := bw.Tick(dRaw%10) + 1
+		arrivals := make([]bw.Bits, len(raw))
+		for i, v := range raw {
+			arrivals[i] = bw.Bits(v)
+		}
+		lt := NewLowTracker(d)
+		var got bw.Rate
+		for _, a := range arrivals {
+			got = lt.Observe(a)
+		}
+		if len(arrivals) == 0 {
+			return got == 0
+		}
+		return got == naiveLow(arrivals, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowTrackerMatchesNaiveLargeValues(t *testing.T) {
+	// Exercise the 128-bit slope comparisons with large bit counts.
+	f := func(raw []uint32, dRaw uint8) bool {
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		d := bw.Tick(dRaw%6) + 1
+		arrivals := make([]bw.Bits, len(raw))
+		for i, v := range raw {
+			arrivals[i] = bw.Bits(v) << 20 // up to ~2^52 total
+		}
+		lt := NewLowTracker(d)
+		var got bw.Rate
+		for _, a := range arrivals {
+			got = lt.Observe(a)
+		}
+		if len(arrivals) == 0 {
+			return got == 0
+		}
+		return got == naiveLow(arrivals, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowTrackerMonotone(t *testing.T) {
+	f := func(raw []uint8, dRaw uint8) bool {
+		d := bw.Tick(dRaw%10) + 1
+		lt := NewLowTracker(d)
+		prev := bw.Rate(0)
+		for _, v := range raw {
+			got := lt.Observe(bw.Bits(v))
+			if got < prev {
+				return false
+			}
+			prev = got
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLowTrackerTicks(t *testing.T) {
+	lt := NewLowTracker(2)
+	if lt.Ticks() != 0 {
+		t.Errorf("Ticks = %d", lt.Ticks())
+	}
+	lt.Observe(5)
+	lt.Observe(0)
+	if lt.Ticks() != 2 {
+		t.Errorf("Ticks = %d", lt.Ticks())
+	}
+	if lt.Low() != 2 { // 5/(1+2) = ceil(1.67) = 2
+		t.Errorf("Low = %d", lt.Low())
+	}
+}
+
+func BenchmarkLowTrackerObserve(b *testing.B) {
+	lt := NewLowTracker(16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		lt.Observe(bw.Bits(i % 97))
+	}
+}
+
+// TestLowTrackerScales validates the convex-hull tracker's amortized
+// O(log n) per-tick cost: a million-tick stage must complete in well
+// under a second (the naive reference is O(n^2) and would take minutes).
+func TestLowTrackerScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long trace")
+	}
+	lt := NewLowTracker(16)
+	start := time.Now()
+	const n = 1 << 20
+	var last bw.Rate
+	for i := 0; i < n; i++ {
+		last = lt.Observe(bw.Bits(i%97) + 1)
+	}
+	if last == 0 {
+		t.Fatal("tracker degenerated")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("1M observations took %v; hull tracker should be near-linear", elapsed)
+	}
+}

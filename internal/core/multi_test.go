@@ -1,0 +1,200 @@
+package core
+
+import (
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/sim"
+	"dynbw/internal/trace"
+	"dynbw/internal/traffic"
+)
+
+func plantedWorkload(t *testing.T, seed uint64, k int, bo bw.Rate, do bw.Tick) *traffic.Planted {
+	t.Helper()
+	pl, err := traffic.NewPlanted(traffic.PlantedParams{
+		Seed: seed, K: k, BO: bo, DO: do,
+		Phases: 12, PhaseLen: 8 * do, ShufflesPerPhase: 2, Fill: 0.8,
+	})
+	if err != nil {
+		t.Fatalf("NewPlanted: %v", err)
+	}
+	return pl
+}
+
+func TestNewPhasedValidates(t *testing.T) {
+	bad := []MultiParams{
+		{K: 0, BO: 8, DO: 2},
+		{K: 4, BO: 2, DO: 2},
+		{K: 2, BO: 8, DO: 0},
+	}
+	for i, p := range bad {
+		if _, err := NewPhased(p); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+		if _, err := NewContinuous(p); err == nil {
+			t.Errorf("case %d: continuous accepted invalid params", i)
+		}
+	}
+}
+
+func TestPhasedGuarantees(t *testing.T) {
+	p := MultiParams{K: 4, BO: 64, DO: 8}
+	pl := plantedWorkload(t, 1, p.K, p.BO, p.DO)
+	alg := MustNewPhased(p)
+	res, err := sim.RunMulti(pl.Multi, alg, sim.Options{})
+	if err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	if res.Delay.Max > p.DA() {
+		t.Errorf("max delay %d exceeds DA = %d", res.Delay.Max, p.DA())
+	}
+	// B_A = 4*B_O plus the ceil-discretization slack of one bit per
+	// session on the overflow channel.
+	if limit := 4*p.BO + bw.Rate(p.K); res.MaxTotalRate() > limit {
+		t.Errorf("total bandwidth %d exceeds 4*BO(+k) = %d", res.MaxTotalRate(), limit)
+	}
+	if v := alg.Stats().OverflowViolations; v != 0 {
+		t.Errorf("overflow-empty invariant violated %d times", v)
+	}
+}
+
+func TestContinuousGuarantees(t *testing.T) {
+	p := MultiParams{K: 4, BO: 64, DO: 8}
+	pl := plantedWorkload(t, 2, p.K, p.BO, p.DO)
+	alg := MustNewContinuous(p)
+	res, err := sim.RunMulti(pl.Multi, alg, sim.Options{})
+	if err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	if res.Delay.Max > p.DA() {
+		t.Errorf("max delay %d exceeds DA = %d", res.Delay.Max, p.DA())
+	}
+	if limit := 5*p.BO + bw.Rate(p.K); res.MaxTotalRate() > limit {
+		t.Errorf("total bandwidth %d exceeds 5*BO(+k) = %d", res.MaxTotalRate(), limit)
+	}
+}
+
+func TestPhasedCompetitiveRatio(t *testing.T) {
+	// Theorem 14: online changes <= 3k x offline changes. The planted
+	// workload's offline change count is known by construction.
+	for _, k := range []int{2, 4, 8} {
+		p := MultiParams{K: k, BO: bw.Rate(16 * k), DO: 8}
+		pl := plantedWorkload(t, uint64(10+k), p.K, p.BO, p.DO)
+		alg := MustNewPhased(p)
+		res, err := sim.RunMulti(pl.Multi, alg, sim.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: RunMulti: %v", k, err)
+		}
+		online := res.SessionChanges()
+		offline := pl.LocalChanges()
+		if offline == 0 {
+			t.Fatalf("k=%d: planted offline has no changes", k)
+		}
+		ratio := float64(online) / float64(offline)
+		// The theorem bounds changes per *stage* by 3k against >= 1
+		// offline change per stage; allow a small constant factor for
+		// stage/phase boundary effects in the discrete model.
+		if limit := float64(4 * k); ratio > limit {
+			t.Errorf("k=%d: ratio %.2f (online %d / offline %d) exceeds %v",
+				k, ratio, online, offline, limit)
+		}
+	}
+}
+
+func TestContinuousCompetitiveRatio(t *testing.T) {
+	for _, k := range []int{2, 4, 8} {
+		p := MultiParams{K: k, BO: bw.Rate(16 * k), DO: 8}
+		pl := plantedWorkload(t, uint64(20+k), p.K, p.BO, p.DO)
+		alg := MustNewContinuous(p)
+		res, err := sim.RunMulti(pl.Multi, alg, sim.Options{})
+		if err != nil {
+			t.Fatalf("k=%d: RunMulti: %v", k, err)
+		}
+		online := res.SessionChanges()
+		offline := pl.LocalChanges()
+		ratio := float64(online) / float64(offline)
+		if limit := float64(4 * k); ratio > limit {
+			t.Errorf("k=%d: ratio %.2f (online %d / offline %d) exceeds %v",
+				k, ratio, online, offline, limit)
+		}
+	}
+}
+
+func TestPhasedIdleSessions(t *testing.T) {
+	// All-idle sessions: the algorithm still allocates the base share but
+	// never spills or resets.
+	p := MultiParams{K: 3, BO: 12, DO: 4}
+	empty := make([]*trace.Trace, p.K)
+	for i := range empty {
+		empty[i] = trace.MustNew(make([]bw.Bits, 64))
+	}
+	m := trace.MustNewMulti(empty)
+	alg := MustNewPhased(p)
+	res, err := sim.RunMulti(m, alg, sim.Options{})
+	if err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	if alg.Stats().Resets != 0 {
+		t.Errorf("idle workload caused %d resets", alg.Stats().Resets)
+	}
+	if res.Delay.Max != 0 {
+		t.Errorf("idle workload has delay %d", res.Delay.Max)
+	}
+}
+
+func TestPhasedSingleHotSession(t *testing.T) {
+	// One session bursts while others stay idle: its regular share must
+	// climb, and the hot session's bits still arrive within 2*DO.
+	p := MultiParams{K: 4, BO: 32, DO: 4}
+	n := bw.Tick(256)
+	hot := traffic.ClampTrace(
+		traffic.OnOff{Seed: 5, PeakRate: 24, MeanOn: 10, MeanOff: 10}.Generate(n),
+		p.BO, p.DO)
+	traces := []*trace.Trace{hot}
+	for i := 1; i < p.K; i++ {
+		traces = append(traces, trace.MustNew(make([]bw.Bits, n)))
+	}
+	m := trace.MustNewMulti(traces)
+	alg := MustNewPhased(p)
+	res, err := sim.RunMulti(m, alg, sim.Options{})
+	if err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	if res.Delay.Max > p.DA() {
+		t.Errorf("max delay %d exceeds DA = %d", res.Delay.Max, p.DA())
+	}
+}
+
+func TestContinuousSingleHotSession(t *testing.T) {
+	p := MultiParams{K: 4, BO: 32, DO: 4}
+	n := bw.Tick(256)
+	hot := traffic.ClampTrace(
+		traffic.OnOff{Seed: 6, PeakRate: 24, MeanOn: 10, MeanOff: 10}.Generate(n),
+		p.BO, p.DO)
+	traces := []*trace.Trace{hot}
+	for i := 1; i < p.K; i++ {
+		traces = append(traces, trace.MustNew(make([]bw.Bits, n)))
+	}
+	m := trace.MustNewMulti(traces)
+	alg := MustNewContinuous(p)
+	res, err := sim.RunMulti(m, alg, sim.Options{})
+	if err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	if res.Delay.Max > p.DA() {
+		t.Errorf("max delay %d exceeds DA = %d", res.Delay.Max, p.DA())
+	}
+}
+
+func TestPhasedStageAccounting(t *testing.T) {
+	p := MultiParams{K: 4, BO: 32, DO: 4}
+	pl := plantedWorkload(t, 3, p.K, p.BO, p.DO)
+	alg := MustNewPhased(p)
+	if _, err := sim.RunMulti(pl.Multi, alg, sim.Options{}); err != nil {
+		t.Fatalf("RunMulti: %v", err)
+	}
+	st := alg.Stats()
+	if st.Stages != st.Resets+1 {
+		t.Errorf("Stages = %d, Resets = %d, want Stages = Resets+1", st.Stages, st.Resets)
+	}
+}

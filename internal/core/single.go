@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/sim"
+)
+
+// SingleSession is the single-session online algorithm of Section 2
+// (Figure 3). It works in stages, each preceded by a RESET:
+//
+//   - within a stage it tracks low(t) (latency-driven lower bound on the
+//     offline's unchanged allocation) and high(t) (utilization-driven
+//     upper bound), and allocates the smallest power of two at least
+//     low(t), never decreasing within the stage;
+//   - when high(t) < low(t) the offline must have changed its allocation
+//     at least once during the stage, so the stage ends: a RESET allocates
+//     the full bandwidth B_A until the queue drains, and a new stage
+//     starts with an empty queue.
+//
+// Per stage the online makes at most log2(B_A)+1 changes (monotone powers
+// of two, plus the jump to B_A in the RESET), while the offline makes at
+// least one — Theorem 6's O(log B_A) competitiveness.
+//
+// Deviation from the paper's presentation (documented in DESIGN.md): the
+// paper starts by invoking RESET; since the simulator starts with an empty
+// queue, this implementation starts directly in a stage — the RESET's only
+// job is to re-establish an empty queue.
+type SingleSession struct {
+	p SingleParams
+	// quantize maps low(t) to the allocation level; the paper uses the
+	// smallest power of two at least low(t). The unquantized ablation
+	// variant uses the identity, trading many more changes for slightly
+	// better utilization (see NewUnquantizedSingle).
+	quantize func(bw.Rate) bw.Rate
+	// globalUtil switches high(t) from the paper's local (sliding-window)
+	// utilization to the global definition discussed at the end of
+	// Section 2 (see NewGlobalUtilSingle).
+	globalUtil bool
+
+	inReset bool
+	low     *LowTracker
+	high    *HighTracker
+	cum     *CumHighTracker
+	bon     bw.Rate
+
+	stats SingleStats
+}
+
+// SingleStats counts the algorithm's structural events; the harness uses
+// them to compute the stage-based lower bound on the offline's changes.
+type SingleStats struct {
+	// Stages is the number of stages started (including the current one).
+	Stages int
+	// Resets is the number of RESET operations, i.e. completed stages.
+	// By Lemma 1, any offline algorithm obeying (B_O, D_O, U_O) makes at
+	// least one change per completed stage.
+	Resets int
+	// ResetTicks is the number of ticks spent inside RESETs.
+	ResetTicks int
+	// InfeasibleTicks counts ticks where low(t) exceeded B_A — possible
+	// only if the input violates the feasibility assumption.
+	InfeasibleTicks int
+}
+
+var _ sim.Allocator = (*SingleSession)(nil)
+
+// NewSingleSession returns the algorithm configured by p.
+func NewSingleSession(p SingleParams) (*SingleSession, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("single session: %w", err)
+	}
+	s := &SingleSession{p: p, quantize: bw.NextPow2}
+	s.startStage()
+	return s, nil
+}
+
+// NewUnquantizedSingle returns the ablation variant that allocates exactly
+// low(t) instead of rounding up to a power of two. Its allocation tracks
+// demand more tightly (better utilization) but it changes on every
+// increase of low(t), and it can even lose the 2*D_O delay guarantee: on
+// steady traffic low(t) approaches the arrival rate only asymptotically,
+// leaving a harmonically growing backlog that the power-of-two overshoot
+// would have absorbed (Claim 2's induction uses Bon >= the next power of
+// two, not Bon >= low). The experiment behind DESIGN.md ablation #1.
+func NewUnquantizedSingle(p SingleParams) (*SingleSession, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("unquantized single session: %w", err)
+	}
+	s := &SingleSession{p: p, quantize: func(low bw.Rate) bw.Rate { return low }}
+	s.startStage()
+	return s, nil
+}
+
+// NewGlobalUtilSingle returns the variant using the *global* utilization
+// definition the paper contrasts with its local one (end of Section 2):
+// the upper bound high(t) compares the total arrivals of the stage against
+// the total allocation a constant offline rate would have accumulated,
+// instead of sliding windows. The paper states (full version) that the
+// algorithm retains its guarantees under this definition but that
+// Omega(log B_A) is then unavoidable.
+func NewGlobalUtilSingle(p SingleParams) (*SingleSession, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("global-util single session: %w", err)
+	}
+	s := &SingleSession{p: p, quantize: bw.NextPow2, globalUtil: true}
+	s.startStage()
+	return s, nil
+}
+
+// MustNewGlobalUtilSingle is NewGlobalUtilSingle but panics on error.
+func MustNewGlobalUtilSingle(p SingleParams) *SingleSession {
+	s, err := NewGlobalUtilSingle(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustNewUnquantizedSingle is NewUnquantizedSingle but panics on error.
+func MustNewUnquantizedSingle(p SingleParams) *SingleSession {
+	s, err := NewUnquantizedSingle(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// MustNewSingleSession is NewSingleSession but panics on error.
+func MustNewSingleSession(p SingleParams) *SingleSession {
+	s, err := NewSingleSession(p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s *SingleSession) startStage() {
+	s.inReset = false
+	s.low = NewLowTracker(s.p.DO)
+	if s.globalUtil {
+		s.cum = NewCumHighTracker(s.p.W, s.p.UO, s.p.BA)
+	} else {
+		s.high = NewHighTracker(s.p.W, s.p.UO, s.p.BA)
+	}
+	s.bon = 0
+	s.stats.Stages++
+}
+
+// resetRate is the allocation used during a RESET: enough to drain the
+// queue at the same speed as the full bandwidth B_A, rounded up to the
+// power-of-two grid. Figure 3 literally sets Bon := B_A; draining is just
+// as fast with min(B_A, queue), and not charging the unused remainder
+// keeps the discrete utilization constants within the paper's bounds
+// (documented deviation, DESIGN.md §2).
+func (s *SingleSession) resetRate(queued bw.Bits) bw.Rate {
+	r := bw.NextPow2(queued)
+	if r > s.p.BA {
+		return s.p.BA
+	}
+	if queued == 0 {
+		return 0
+	}
+	return r
+}
+
+// observeHigh feeds the active utilization tracker.
+func (s *SingleSession) observeHigh(arrived bw.Bits) bw.Rate {
+	if s.globalUtil {
+		return s.cum.Observe(arrived)
+	}
+	return s.high.Observe(arrived)
+}
+
+// Rate implements sim.Allocator.
+func (s *SingleSession) Rate(t bw.Tick, arrived, queued bw.Bits) bw.Rate {
+	if s.inReset {
+		s.stats.ResetTicks++
+		if queued <= s.p.BA {
+			// The queue drains this tick; a fresh stage starts next tick.
+			s.startStage()
+		}
+		return s.resetRate(queued)
+	}
+
+	low := s.low.Observe(arrived)
+	high := s.observeHigh(arrived)
+	if high < low {
+		// The offline algorithm cannot have kept one allocation through
+		// this stage: end it.
+		s.stats.Resets++
+		s.stats.ResetTicks++
+		if queued <= s.p.BA {
+			s.startStage()
+		} else {
+			s.inReset = true
+		}
+		return s.resetRate(queued)
+	}
+
+	if low > 0 {
+		if want := s.quantize(low); want > s.bon {
+			s.bon = want
+		}
+	}
+	if s.bon > s.p.BA {
+		s.stats.InfeasibleTicks++
+		s.bon = s.p.BA
+	}
+	return s.bon
+}
+
+// Stats returns the structural counters accumulated so far.
+func (s *SingleSession) Stats() SingleStats { return s.stats }
+
+// Params returns the configuration.
+func (s *SingleSession) Params() SingleParams { return s.p }

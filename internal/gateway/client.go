@@ -1,0 +1,92 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"dynbw/internal/bw"
+)
+
+// Client is one session's view of the gateway.
+type Client struct {
+	conn    net.Conn
+	session uint32
+}
+
+// SessionStats is the per-session accounting returned by Client.Stats.
+type SessionStats struct {
+	Served   bw.Bits
+	Queued   bw.Bits
+	MaxDelay bw.Tick
+}
+
+// DialSession connects to a gateway and opens a session slot.
+func DialSession(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: dial: %w", err)
+	}
+	if _, err := conn.Write([]byte{typeOpen}); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: open: %w", err)
+	}
+	var reply [5]byte
+	if _, err := io.ReadFull(conn, reply[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: open reply: %w", err)
+	}
+	if reply[0] != typeOpened {
+		conn.Close()
+		return nil, fmt.Errorf("gateway: unexpected open reply type %d", reply[0])
+	}
+	return &Client{
+		conn:    conn,
+		session: binary.BigEndian.Uint32(reply[1:]),
+	}, nil
+}
+
+// Session returns the assigned session slot.
+func (c *Client) Session() uint32 { return c.session }
+
+// Send submits bits to the session's queue.
+func (c *Client) Send(bits bw.Bits) error {
+	if bits < 0 {
+		return fmt.Errorf("gateway: negative send %d", bits)
+	}
+	var msg [13]byte
+	msg[0] = typeData
+	binary.BigEndian.PutUint32(msg[1:], c.session)
+	binary.BigEndian.PutUint64(msg[5:], uint64(bits))
+	if _, err := c.conn.Write(msg[:]); err != nil {
+		return fmt.Errorf("gateway: send: %w", err)
+	}
+	return nil
+}
+
+// Stats fetches the session's accounting from the gateway.
+func (c *Client) Stats() (SessionStats, error) {
+	var req [5]byte
+	req[0] = typeStats
+	binary.BigEndian.PutUint32(req[1:], c.session)
+	if _, err := c.conn.Write(req[:]); err != nil {
+		return SessionStats{}, fmt.Errorf("gateway: stats: %w", err)
+	}
+	var reply [25]byte
+	if _, err := io.ReadFull(c.conn, reply[:]); err != nil {
+		return SessionStats{}, fmt.Errorf("gateway: stats reply: %w", err)
+	}
+	if reply[0] != typeStatsR {
+		return SessionStats{}, fmt.Errorf("gateway: unexpected stats reply type %d", reply[0])
+	}
+	return SessionStats{
+		Served:   bw.Bits(binary.BigEndian.Uint64(reply[1:])),
+		Queued:   bw.Bits(binary.BigEndian.Uint64(reply[9:])),
+		MaxDelay: bw.Tick(binary.BigEndian.Uint64(reply[17:])),
+	}, nil
+}
+
+// Close releases the session slot.
+func (c *Client) Close() error { return c.conn.Close() }

@@ -1,0 +1,284 @@
+// Package gateway is the paper's multi-session scenario as a running
+// service: an IP provider accepting client sessions over TCP, queueing
+// their traffic, and dividing a shared bandwidth pool among them with one
+// of the Section 3/4 algorithms, tick by tick. It composes the live
+// runtime model of internal/runtime with the multi-session allocators of
+// internal/core, and exposes the same accounting the simulator reports —
+// per-session delays and allocation changes — for a system that is
+// actually serving clients.
+//
+// Wire protocol (big endian over TCP):
+//
+//	OPEN:   type=1                       -> OPENED: type=2, session uint32
+//	DATA:   type=3, session uint32, bits int64   (no reply)
+//	STATS:  type=4, session uint32       -> STATSR: type=5, served, queued, maxDelay int64
+package gateway
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/queue"
+	"dynbw/internal/sim"
+)
+
+// Message type bytes.
+const (
+	typeOpen   byte = 1
+	typeOpened byte = 2
+	typeData   byte = 3
+	typeStats  byte = 4
+	typeStatsR byte = 5
+)
+
+// ErrSessionLimit is returned to callers when every allocator slot is
+// taken.
+var ErrSessionLimit = errors.New("gateway: all session slots in use")
+
+// Gateway serves k session slots with a multi-session allocator.
+type Gateway struct {
+	ln    net.Listener
+	alloc sim.MultiAllocator
+	k     int
+	ticks <-chan time.Time
+
+	mu      sync.Mutex
+	pending []bw.Bits // arrivals accumulated since the last tick
+	used    []bool    // slot taken by an open session
+	queues  []queue.FIFO
+	scheds  []*bw.Schedule
+	now     bw.Tick
+	conns   map[net.Conn]struct{}
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+	done    chan struct{}
+}
+
+// New starts a gateway with k session slots on addr, advancing the
+// allocator once per value received on ticks.
+func New(addr string, k int, alloc sim.MultiAllocator, ticks <-chan time.Time) (*Gateway, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gateway: k = %d", k)
+	}
+	if alloc == nil || ticks == nil {
+		return nil, fmt.Errorf("gateway: nil allocator or tick source")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: listen: %w", err)
+	}
+	g := &Gateway{
+		ln:      ln,
+		alloc:   alloc,
+		k:       k,
+		ticks:   ticks,
+		pending: make([]bw.Bits, k),
+		used:    make([]bool, k),
+		queues:  make([]queue.FIFO, k),
+		scheds:  make([]*bw.Schedule, k),
+		closing: make(chan struct{}),
+		done:    make(chan struct{}),
+		conns:   make(map[net.Conn]struct{}),
+	}
+	for i := range g.scheds {
+		g.scheds[i] = &bw.Schedule{}
+	}
+	g.wg.Add(1)
+	go g.acceptLoop()
+	go g.tickLoop()
+	return g, nil
+}
+
+// Addr returns the gateway's listen address.
+func (g *Gateway) Addr() string { return g.ln.Addr().String() }
+
+// Stats is the gateway-wide accounting snapshot returned by Close.
+type Stats struct {
+	Ticks          bw.Tick
+	Served         bw.Bits
+	Queued         bw.Bits
+	SessionChanges int
+	MaxTotalRate   bw.Rate
+	MaxDelay       bw.Tick
+}
+
+// Close stops serving, waits for the loops and handlers, and returns the
+// final accounting.
+func (g *Gateway) Close() Stats {
+	close(g.closing)
+	g.ln.Close()
+	// Unblock handlers parked in reads on live client connections.
+	g.mu.Lock()
+	for c := range g.conns {
+		c.Close()
+	}
+	g.mu.Unlock()
+	g.wg.Wait()
+	<-g.done
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var st Stats
+	st.Ticks = g.now
+	total := bw.Sum(g.scheds...)
+	st.MaxTotalRate = total.MaxRate()
+	for i := 0; i < g.k; i++ {
+		st.Served += g.queues[i].Served()
+		st.Queued += g.queues[i].Bits()
+		st.SessionChanges += g.scheds[i].Changes()
+		if d := g.queues[i].MaxDelay(); d > st.MaxDelay {
+			st.MaxDelay = d
+		}
+	}
+	return st
+}
+
+// tickLoop owns the allocator and the queues.
+func (g *Gateway) tickLoop() {
+	defer close(g.done)
+	arrived := make([]bw.Bits, g.k)
+	queued := make([]bw.Bits, g.k)
+	for {
+		select {
+		case <-g.closing:
+			return
+		case <-g.ticks:
+			g.mu.Lock()
+			t := g.now
+			for i := 0; i < g.k; i++ {
+				arrived[i] = g.pending[i]
+				g.pending[i] = 0
+				g.queues[i].Push(t, arrived[i])
+				queued[i] = g.queues[i].Bits()
+			}
+			rates := g.alloc.Rates(t, arrived, queued)
+			for i := 0; i < g.k && i < len(rates); i++ {
+				r := rates[i]
+				if r < 0 {
+					r = 0
+				}
+				g.scheds[i].Set(t, r)
+				g.queues[i].Serve(t, r)
+			}
+			g.now++
+			g.mu.Unlock()
+		}
+	}
+}
+
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			select {
+			case <-g.closing:
+				return
+			default:
+				continue
+			}
+		}
+		g.mu.Lock()
+		g.conns[conn] = struct{}{}
+		g.mu.Unlock()
+		g.wg.Add(1)
+		go g.handle(conn)
+	}
+}
+
+// openSession claims a free slot.
+func (g *Gateway) openSession() (int, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for i := 0; i < g.k; i++ {
+		if !g.used[i] {
+			g.used[i] = true
+			return i, nil
+		}
+	}
+	return 0, ErrSessionLimit
+}
+
+func (g *Gateway) releaseSession(id int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.used[id] = false
+}
+
+func (g *Gateway) handle(conn net.Conn) {
+	defer g.wg.Done()
+	defer conn.Close()
+	owned := -1
+	defer func() {
+		if owned >= 0 {
+			g.releaseSession(owned)
+		}
+		g.mu.Lock()
+		delete(g.conns, conn)
+		g.mu.Unlock()
+	}()
+	for {
+		var typ [1]byte
+		if _, err := io.ReadFull(conn, typ[:]); err != nil {
+			return
+		}
+		switch typ[0] {
+		case typeOpen:
+			id, err := g.openSession()
+			if err != nil {
+				return // slot exhaustion drops the connection
+			}
+			owned = id
+			var reply [5]byte
+			reply[0] = typeOpened
+			binary.BigEndian.PutUint32(reply[1:], uint32(id))
+			if _, err := conn.Write(reply[:]); err != nil {
+				return
+			}
+		case typeData:
+			var body [12]byte
+			if _, err := io.ReadFull(conn, body[:]); err != nil {
+				return
+			}
+			id := int(binary.BigEndian.Uint32(body[0:]))
+			bits := int64(binary.BigEndian.Uint64(body[4:]))
+			if id < 0 || id >= g.k || bits < 0 {
+				return
+			}
+			g.mu.Lock()
+			g.pending[id] += bits
+			g.mu.Unlock()
+		case typeStats:
+			var body [4]byte
+			if _, err := io.ReadFull(conn, body[:]); err != nil {
+				return
+			}
+			id := int(binary.BigEndian.Uint32(body[:]))
+			if id < 0 || id >= g.k {
+				return
+			}
+			g.mu.Lock()
+			served := g.queues[id].Served()
+			queued := g.queues[id].Bits()
+			maxDelay := g.queues[id].MaxDelay()
+			g.mu.Unlock()
+			var reply [25]byte
+			reply[0] = typeStatsR
+			binary.BigEndian.PutUint64(reply[1:], uint64(served))
+			binary.BigEndian.PutUint64(reply[9:], uint64(queued))
+			binary.BigEndian.PutUint64(reply[17:], uint64(maxDelay))
+			if _, err := conn.Write(reply[:]); err != nil {
+				return
+			}
+		default:
+			return
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"fmt"
+
+	"dynbw/internal/core"
+	"dynbw/internal/metrics"
+	"dynbw/internal/sim"
+)
+
+// GlobalVsLocalUtil is experiment E14: the end of Section 2 contrasts the
+// paper's local (sliding-window) utilization definition with the global
+// one, claiming the algorithm keeps its guarantees under both while the
+// global definition makes Omega(log B_A) unavoidable. The table compares
+// the two variants across the workload matrix.
+func GlobalVsLocalUtil() (*Table, error) {
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	t := &Table{
+		ID:    "E14",
+		Title: "Local vs global utilization definition (end of Section 2)",
+		Note: "global-util computes high(t) from cumulative stage arrivals instead " +
+			"of sliding windows; it forgives idle windows compensated by earlier " +
+			"traffic, so it resets less often — at the price of worse (windowed) " +
+			"utilization during the forgiven periods.",
+		Headers: []string{
+			"workload", "definition", "changes", "stages", "max_delay", "bound",
+			"global_util", "flex_util",
+		},
+	}
+	for _, w := range workloadMatrix(p, 2048) {
+		for _, v := range []struct {
+			name string
+			mk   func(core.SingleParams) *core.SingleSession
+		}{
+			{name: "local (paper)", mk: core.MustNewSingleSession},
+			{name: "global", mk: core.MustNewGlobalUtilSingle},
+		} {
+			alg := v.mk(p)
+			res, err := sim.Run(w.Trace, alg, sim.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("E14 %s/%s: %w", w.Name, v.name, err)
+			}
+			t.AddRow(w.Name, v.name,
+				itoa(res.Report.Changes), itoa(int64(alg.Stats().Stages)),
+				itoa(res.Delay.Max), itoa(p.DA()),
+				f3(res.Report.GlobalUtil),
+				f3(metrics.FlexibleUtilizationMin(w.Trace, res.Schedule, 1, p.W+5*p.DO)))
+		}
+	}
+	return t, nil
+}
+
+// QuantizationAblation is experiment E15 (DESIGN.md ablation #1): the
+// power-of-two level grid is the mechanism that bounds the per-stage
+// change count AND makes the delay induction work. Removing it (allocating
+// exactly low(t)) improves utilization but multiplies the number of
+// changes and lets steady traffic accumulate a harmonic backlog past the
+// 2*D_O bound.
+func QuantizationAblation() (*Table, error) {
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	t := &Table{
+		ID:    "E15",
+		Title: "Power-of-two quantization ablation (DESIGN.md ablation #1)",
+		Note: "unquantized allocates exactly low(t): higher utilization but many " +
+			"more changes, and on steady traffic it even loses the 2*D_O delay " +
+			"guarantee (harmonic backlog — the power-of-two overshoot is what makes " +
+			"Claim 2's induction work). The level grid is load-bearing twice over.",
+		Headers: []string{
+			"workload", "pow2_changes", "exact_changes", "changes_ratio",
+			"pow2_util", "exact_util", "pow2_delay", "exact_delay",
+		},
+	}
+	for _, w := range workloadMatrix(p, 2048) {
+		quant := core.MustNewSingleSession(p)
+		qRes, err := sim.Run(w.Trace, quant, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E15 %s pow2: %w", w.Name, err)
+		}
+		exact := core.MustNewUnquantizedSingle(p)
+		eRes, err := sim.Run(w.Trace, exact, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E15 %s exact: %w", w.Name, err)
+		}
+		t.AddRow(w.Name,
+			itoa(qRes.Report.Changes), itoa(eRes.Report.Changes),
+			f2(ratio(eRes.Report.Changes, qRes.Report.Changes)),
+			f3(qRes.Report.GlobalUtil), f3(eRes.Report.GlobalUtil),
+			itoa(qRes.Delay.Max), itoa(eRes.Delay.Max))
+	}
+	return t, nil
+}

@@ -1,0 +1,122 @@
+package harness
+
+import (
+	"fmt"
+
+	"dynbw/internal/baseline"
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/offline"
+	"dynbw/internal/sim"
+	"dynbw/internal/trace"
+	"dynbw/internal/traffic"
+)
+
+// NoSlackAdversary is experiment E11: the necessity of slack (the remark
+// in Section 1.1). An online policy forced to hold the offline's exact
+// delay and utilization at all times (emulated by the per-tick
+// deadline-follower, which is the minimal such policy) must renegotiate
+// on every burst, so its change count grows linearly with the trace
+// length while the slack-equipped paper algorithm's change count tracks
+// the clairvoyant baseline. The paper proves the adversarial version of
+// this statement in its full version; this experiment reproduces the
+// phenomenon on oblivious burst trains.
+func NoSlackAdversary() (*Table, error) {
+	// Spike train with period exactly W: every complete W-window contains
+	// one spike of S bits, so a single constant offline allocation
+	// b = ceil(S/(D_O+1)) satisfies both the delay bound and the
+	// utilization bound (which needs U_O*W <= D_O+1 — here 8 <= 9).
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	const spike = bw.Bits(128)
+	t := &Table{
+		ID:    "E11",
+		Title: "Necessity of slack (Section 1.1 impossibility remark)",
+		Note: "Spike train with period W: one constant offline allocation is feasible " +
+			"(greedy changes stay O(1)), the paper's slack-equipped online stays " +
+			"bounded, but a zero-slack online (per-tick deadline follower, which " +
+			"holds delay D_O and utilization 1) is forced to renegotiate at every " +
+			"spike — its change count, and hence its competitive ratio, grows " +
+			"without bound in the number of rounds.",
+		Headers: []string{
+			"rounds", "ticks", "no_slack_changes", "paper_changes", "greedy_changes",
+			"no_slack_ratio", "paper_ratio",
+		},
+	}
+	for _, rounds := range []int{4, 8, 16, 32, 64} {
+		n := bw.Tick(rounds) * p.W
+		arrivals := make([]bw.Bits, n)
+		for i := bw.Tick(0); i < n; i += p.W {
+			arrivals[i] = spike
+		}
+		tr := traffic.ClampTrace(trace.MustNew(arrivals), p.BA, p.DO)
+
+		noSlack, err := sim.Run(tr, &baseline.PerTick{D: p.DO}, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E11 rounds=%d no-slack: %w", rounds, err)
+		}
+		alg := core.MustNewSingleSession(p)
+		paper, err := sim.Run(tr, alg, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E11 rounds=%d paper: %w", rounds, err)
+		}
+		greedy, err := offline.Greedy(tr, offline.Params{B: p.BA, D: p.DO, U: p.UO, W: p.W})
+		if err != nil {
+			return nil, fmt.Errorf("E11 rounds=%d greedy: %w", rounds, err)
+		}
+		t.AddRow(
+			itoa(int64(rounds)), itoa(n),
+			itoa(noSlack.Report.Changes), itoa(paper.Report.Changes), itoa(greedy.Changes()),
+			f2(ratio(noSlack.Report.Changes, greedy.Changes())),
+			f2(ratio(paper.Report.Changes, greedy.Changes())),
+		)
+	}
+	return t, nil
+}
+
+// LogBLowerBound is experiment E12: the Omega(log B_A) lower bound for
+// global utilization (end of Section 2). A demand ramp that doubles
+// through every power of two forces the online algorithm through
+// Theta(log B_A) allocation levels, while the clairvoyant greedy follows
+// the same ramp with one change per level at most — so the per-stage
+// change count of the online tracks log2(B_A), matching the upper bound
+// and showing it is tight in shape.
+func LogBLowerBound() (*Table, error) {
+	t := &Table{
+		ID:    "E12",
+		Title: "Doubling-demand ramp: changes track log2(B_A) (tightness of Theorem 6)",
+		Note: "Demand doubles every 4*D_O ticks from 1 up to B_A/2. Expected: online " +
+			"changes per sweep ~ log2(B_A), growing linearly as B_A doubles.",
+		Headers: []string{
+			"B_A", "log2_BA", "online_changes", "sweeps", "changes_per_sweep",
+			"greedy_changes", "max_delay",
+		},
+	}
+	const do = bw.Tick(8)
+	for _, ba := range []bw.Rate{64, 256, 1024, 4096} {
+		p := core.SingleParams{BA: ba, DO: do, UO: 0.5, W: 16}
+		phase := 4 * do
+		levels := bw.Log2Floor(ba / 2)
+		sweepLen := bw.Tick(levels+1) * phase
+		const sweeps = 6
+		g := traffic.DoublingDemand{StartRate: 1, MaxRate: ba / 2, PhaseLen: phase}
+		tr := traffic.ClampTrace(g.Generate(bw.Tick(sweeps)*sweepLen), p.BA, p.DO)
+
+		alg := core.MustNewSingleSession(p)
+		res, err := sim.Run(tr, alg, sim.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("E12 BA=%d: %w", ba, err)
+		}
+		greedy, err := offline.Greedy(tr, offline.Params{B: p.BA, D: p.DO, U: p.UO, W: p.W})
+		if err != nil {
+			return nil, fmt.Errorf("E12 BA=%d greedy: %w", ba, err)
+		}
+		t.AddRow(
+			itoa(ba), itoa(int64(p.LogBA())),
+			itoa(res.Report.Changes), itoa(int64(sweeps)),
+			f2(float64(res.Report.Changes)/float64(sweeps)),
+			itoa(greedy.Changes()),
+			itoa(res.Delay.Max),
+		)
+	}
+	return t, nil
+}

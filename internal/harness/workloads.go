@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/trace"
+	"dynbw/internal/traffic"
+)
+
+// burstyDemand is the canonical single-session workload: a composite of
+// on/off bursts, heavy-tailed bursts, and VBR video, in the spirit of the
+// traffic behind the paper's Figure 1.
+func burstyDemand(seed uint64, peak bw.Rate, n bw.Tick) *trace.Trace {
+	g := traffic.Composite{Parts: []traffic.Generator{
+		traffic.OnOff{Seed: seed, PeakRate: peak / 2, MeanOn: 12, MeanOff: 28},
+		traffic.ParetoBurst{Seed: seed + 1, Alpha: 1.5, MinBurst: int64(peak), MeanGap: 40, SpreadTicks: 4},
+		traffic.VBRVideo{
+			Seed: seed + 2, FrameInterval: 4,
+			IBits: int64(peak / 2), PBits: int64(peak / 5), BBits: int64(peak / 16),
+			Jitter: 0.25, SceneChangeProb: 0.02,
+		},
+	}}
+	return g.Generate(n)
+}
+
+// feasibleBursty clamps burstyDemand to the single-session feasibility
+// assumption (serveable with bandwidth ba and delay do).
+func feasibleBursty(seed uint64, p core.SingleParams, n bw.Tick) *trace.Trace {
+	return traffic.ClampTrace(burstyDemand(seed, p.BA/2, n), p.BA, p.DO)
+}
+
+// workloadMatrix is the named set of regimes used by the guarantee and
+// heuristic experiments.
+func workloadMatrix(p core.SingleParams, n bw.Tick) []struct {
+	Name  string
+	Trace *trace.Trace
+} {
+	mk := func(g traffic.Generator) *trace.Trace {
+		return traffic.ClampTrace(g.Generate(n), p.BA, p.DO)
+	}
+	return []struct {
+		Name  string
+		Trace *trace.Trace
+	}{
+		{Name: "cbr", Trace: mk(traffic.CBR{Rate: p.BA / 4})},
+		{Name: "onoff", Trace: mk(traffic.OnOff{Seed: 11, PeakRate: p.BA / 2, MeanOn: 12, MeanOff: 20})},
+		{Name: "pareto", Trace: mk(traffic.ParetoBurst{Seed: 12, Alpha: 1.5, MinBurst: int64(p.BA), MeanGap: 16, SpreadTicks: 2})},
+		{Name: "video", Trace: mk(traffic.VBRVideo{
+			Seed: 13, FrameInterval: 2,
+			IBits: int64(p.BA / 2), PBits: int64(p.BA / 5), BBits: int64(p.BA / 16),
+			Jitter: 0.2, SceneChangeProb: 0.05,
+		})},
+		{Name: "spike", Trace: mk(traffic.Spike{Seed: 14, Base: p.BA / 32, SpikeBits: int64(p.BA / 2), SpikeProb: 0.03})},
+		{Name: "mmpp", Trace: mk(traffic.MMPP{
+			Seed: 15, Rates: []bw.Rate{p.BA / 32, p.BA / 8, p.BA / 2}, StayProb: 0.97,
+		})},
+		{Name: "selfsim", Trace: mk(traffic.SelfSimilar{
+			Seed: 16, Sources: 12, PeakRate: p.BA / 24, Alpha: 1.4, MinPeriod: 4,
+		})},
+	}
+}
+
+// staircase is a warm workload (never idle) whose rate doubles every
+// phaseLen ticks from floor up to peak and then cycles back; the gradual
+// climb forces the online algorithm through its allocation levels one by
+// one, while the utilization bound ends each stage after roughly
+// log2(1/U_O) rungs. Used by the Theorem 7 sweep.
+func staircase(floor, peak bw.Rate, phaseLen, n bw.Tick) *trace.Trace {
+	return traffic.DoublingDemand{StartRate: floor, MaxRate: peak, PhaseLen: phaseLen}.Generate(n)
+}

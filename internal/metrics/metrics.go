@@ -1,0 +1,163 @@
+// Package metrics computes the three quality-of-service quantities the
+// paper trades off: latency (per-bit delay), utilization (arrivals per
+// allocated bandwidth, in the paper's local-window and global senses), and
+// the number of bandwidth allocation changes.
+package metrics
+
+import (
+	"math"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+)
+
+// DelayStats summarizes per-bit delay for one run, produced by the queue.
+type DelayStats struct {
+	Max    bw.Tick
+	P50    bw.Tick
+	P99    bw.Tick
+	Served bw.Bits
+}
+
+// GlobalUtilization returns the paper's global utilization: total incoming
+// bits divided by total allocated bandwidth over the full run. It returns
+// 1 when nothing was allocated (no waste is possible without allocation).
+func GlobalUtilization(tr *trace.Trace, sched *bw.Schedule) float64 {
+	alloc := sched.Integral(0, sched.Len())
+	if alloc == 0 {
+		return 1
+	}
+	return float64(tr.Total()) / float64(alloc)
+}
+
+// LocalUtilizationMin returns the paper's local utilization with a fixed
+// window of size w: the minimum over all full windows [a, a+w) of
+// arrivals-in-window / allocation-in-window. Windows with zero allocation
+// waste nothing and are skipped. It returns 1 if no window qualifies.
+func LocalUtilizationMin(tr *trace.Trace, sched *bw.Schedule, w bw.Tick) float64 {
+	if w < 1 {
+		panic("metrics: window < 1")
+	}
+	n := sched.Len()
+	minRatio := math.Inf(1)
+	for a := bw.Tick(0); a+w <= n; a++ {
+		alloc := sched.Integral(a, a+w)
+		if alloc == 0 {
+			continue
+		}
+		ratio := float64(tr.Window(a, a+w)) / float64(alloc)
+		if ratio < minRatio {
+			minRatio = ratio
+		}
+	}
+	if math.IsInf(minRatio, 1) {
+		return 1
+	}
+	return minRatio
+}
+
+// FlexibleUtilizationMin returns the utilization guarantee the paper's
+// Lemma 5 actually provides: for every window end t there must exist SOME
+// window size w' in [minW, maxW] ending at t that satisfies the
+// utilization condition IN >= U * B. A window with zero allocation
+// satisfies the condition for any U and is scored 1 (ratios are capped at
+// 1, since utilization is a fraction of the allocation put to use). The
+// function returns the minimum over t of the best score over window sizes.
+// Lemma 5 guarantees this is at least U_O/3 for the single-session
+// algorithm with minW = 1 and maxW = W + 5*D_O.
+func FlexibleUtilizationMin(tr *trace.Trace, sched *bw.Schedule, minW, maxW bw.Tick) float64 {
+	if minW < 1 || maxW < minW {
+		panic("metrics: invalid window range")
+	}
+	n := sched.Len()
+	worst := 1.0
+	for t := minW; t <= n; t++ {
+		best := 0.0
+		for w := minW; w <= maxW && w <= t; w++ {
+			alloc := sched.Integral(t-w, t)
+			ratio := 1.0
+			if alloc > 0 {
+				ratio = float64(tr.Window(t-w, t)) / float64(alloc)
+				if ratio > 1 {
+					ratio = 1
+				}
+			}
+			if ratio > best {
+				best = ratio
+				if best == 1 {
+					break
+				}
+			}
+		}
+		if best < worst {
+			worst = best
+		}
+	}
+	return worst
+}
+
+// Report aggregates the quality metrics of one simulation run.
+type Report struct {
+	Ticks          bw.Tick
+	TotalArrivals  bw.Bits
+	TotalAllocated bw.Bits
+	Changes        int
+	MaxRate        bw.Rate
+	Delay          DelayStats
+	GlobalUtil     float64
+}
+
+// BuildReport assembles a Report from a run's trace, schedule, and delay
+// statistics.
+func BuildReport(tr *trace.Trace, sched *bw.Schedule, delay DelayStats) Report {
+	return Report{
+		Ticks:          sched.Len(),
+		TotalArrivals:  tr.Total(),
+		TotalAllocated: sched.Integral(0, sched.Len()),
+		Changes:        sched.Changes(),
+		MaxRate:        sched.MaxRate(),
+		Delay:          delay,
+		GlobalUtil:     GlobalUtilization(tr, sched),
+	}
+}
+
+// JainFairness returns Jain's fairness index of the given shares:
+// (sum x)^2 / (n * sum x^2), which is 1 when all shares are equal and
+// 1/n when one share dominates. Shares are typically per-session
+// allocation-to-demand ratios; non-positive and NaN shares are skipped.
+// It returns 1 for an empty input (nothing to be unfair about).
+func JainFairness(shares []float64) float64 {
+	var sum, sumSq float64
+	n := 0
+	for _, x := range shares {
+		if x <= 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		sum += x
+		sumSq += x * x
+		n++
+	}
+	if n == 0 || sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(n) * sumSq)
+}
+
+// SessionShares computes each session's allocation-to-demand ratio, the
+// input to JainFairness. Sessions with no demand are reported as -1
+// (skipped by JainFairness).
+func SessionShares(demands []bw.Bits, allocations []bw.Bits) []float64 {
+	n := len(demands)
+	if len(allocations) < n {
+		n = len(allocations)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		if demands[i] <= 0 {
+			out[i] = -1
+			continue
+		}
+		out[i] = float64(allocations[i]) / float64(demands[i])
+	}
+	return out
+}

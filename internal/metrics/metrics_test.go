@@ -1,0 +1,178 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+)
+
+func sched(rates []bw.Rate) *bw.Schedule {
+	s := &bw.Schedule{}
+	for t, r := range rates {
+		s.Set(bw.Tick(t), r)
+	}
+	return s
+}
+
+func TestGlobalUtilization(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{4, 4, 4, 4}) // 16 bits
+	s := sched([]bw.Rate{8, 8, 8, 8})          // 32 allocated
+	if got := GlobalUtilization(tr, s); got != 0.5 {
+		t.Errorf("GlobalUtilization = %v, want 0.5", got)
+	}
+}
+
+func TestGlobalUtilizationZeroAllocation(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{0, 0})
+	s := sched([]bw.Rate{0, 0})
+	if got := GlobalUtilization(tr, s); got != 1 {
+		t.Errorf("GlobalUtilization with zero allocation = %v, want 1", got)
+	}
+}
+
+func TestLocalUtilizationMin(t *testing.T) {
+	// Arrivals 8,0,8,0 with allocation 4 everywhere: windows of size 2
+	// have IN in {8} and alloc 8 -> ratio 1.0; size-1 windows would differ
+	// but we ask for w=2.
+	tr := trace.MustNew([]bw.Bits{8, 0, 8, 0})
+	s := sched([]bw.Rate{4, 4, 4, 4})
+	if got := LocalUtilizationMin(tr, s, 2); got != 1.0 {
+		t.Errorf("LocalUtilizationMin(w=2) = %v, want 1.0", got)
+	}
+	// w=1 exposes the idle ticks: min ratio 0.
+	if got := LocalUtilizationMin(tr, s, 1); got != 0 {
+		t.Errorf("LocalUtilizationMin(w=1) = %v, want 0", got)
+	}
+}
+
+func TestLocalUtilizationSkipsZeroAllocWindows(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{0, 10})
+	s := sched([]bw.Rate{0, 10})
+	// The w=1 window at tick 0 has zero allocation and is skipped; the
+	// tick-1 window has ratio 1.
+	if got := LocalUtilizationMin(tr, s, 1); got != 1 {
+		t.Errorf("LocalUtilizationMin = %v, want 1", got)
+	}
+}
+
+func TestLocalUtilizationNoQualifyingWindow(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{1})
+	s := sched([]bw.Rate{0})
+	if got := LocalUtilizationMin(tr, s, 1); got != 1 {
+		t.Errorf("want 1 when no window qualifies, got %v", got)
+	}
+}
+
+func TestLocalUtilizationPanicsOnBadWindow(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("window 0 did not panic")
+		}
+	}()
+	LocalUtilizationMin(trace.MustNew(nil), sched(nil), 0)
+}
+
+func TestFlexibleUtilizationMin(t *testing.T) {
+	// Allocation is bursty in a way that any fixed window penalizes, but a
+	// flexible window size finds a good ratio at every end point.
+	tr := trace.MustNew([]bw.Bits{8, 8, 0, 0})
+	s := sched([]bw.Rate{8, 8, 0, 0})
+	got := FlexibleUtilizationMin(tr, s, 1, 4)
+	if got != 1 {
+		t.Errorf("FlexibleUtilizationMin = %v, want 1", got)
+	}
+}
+
+func TestFlexibleUtilizationWorstCase(t *testing.T) {
+	// Allocation 10 with arrivals 5 at every tick: every window has ratio
+	// 0.5 regardless of size.
+	tr := trace.MustNew([]bw.Bits{5, 5, 5, 5})
+	s := sched([]bw.Rate{10, 10, 10, 10})
+	got := FlexibleUtilizationMin(tr, s, 1, 2)
+	if math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FlexibleUtilizationMin = %v, want 0.5", got)
+	}
+}
+
+func TestFlexibleUtilizationPanicsOnBadRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad range did not panic")
+		}
+	}()
+	FlexibleUtilizationMin(trace.MustNew(nil), sched(nil), 2, 1)
+}
+
+func TestFlexibleAtLeastFixed(t *testing.T) {
+	// The flexible minimum with range [w, w] equals the fixed-window
+	// minimum restricted to t >= w; widening the range can only help.
+	tr := trace.MustNew([]bw.Bits{3, 0, 9, 1, 0, 7, 2, 2})
+	s := sched([]bw.Rate{4, 4, 8, 8, 2, 8, 4, 4})
+	const w = 2
+	fixed := LocalUtilizationMin(tr, s, w)
+	flexSame := FlexibleUtilizationMin(tr, s, w, w)
+	flexWide := FlexibleUtilizationMin(tr, s, 1, 4)
+	if math.Abs(fixed-flexSame) > 1e-12 {
+		t.Errorf("flex[w,w] = %v != fixed %v", flexSame, fixed)
+	}
+	if flexWide < flexSame-1e-12 {
+		t.Errorf("widening windows decreased utilization: %v < %v", flexWide, flexSame)
+	}
+}
+
+func TestBuildReport(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{4, 4})
+	s := sched([]bw.Rate{8, 4})
+	r := BuildReport(tr, s, DelayStats{Max: 3, P50: 1, P99: 2, Served: 8})
+	if r.Ticks != 2 || r.TotalArrivals != 8 || r.TotalAllocated != 12 {
+		t.Errorf("report totals wrong: %+v", r)
+	}
+	if r.Changes != 2 || r.MaxRate != 8 {
+		t.Errorf("report schedule stats wrong: %+v", r)
+	}
+	if r.Delay.Max != 3 {
+		t.Errorf("delay stats not carried: %+v", r.Delay)
+	}
+	if math.Abs(r.GlobalUtil-8.0/12.0) > 1e-12 {
+		t.Errorf("GlobalUtil = %v", r.GlobalUtil)
+	}
+}
+
+func TestJainFairness(t *testing.T) {
+	tests := []struct {
+		name   string
+		shares []float64
+		want   float64
+	}{
+		{name: "equal", shares: []float64{2, 2, 2, 2}, want: 1},
+		{name: "empty", shares: nil, want: 1},
+		{name: "skips nonpositive", shares: []float64{1, 0, -3, 1}, want: 1},
+		{name: "one dominates", shares: []float64{1, 0.0001, 0.0001, 0.0001}, want: 0.25},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := JainFairness(tt.shares)
+			if math.Abs(got-tt.want) > 0.01 {
+				t.Errorf("JainFairness(%v) = %v, want ~%v", tt.shares, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestJainFairnessRange(t *testing.T) {
+	// The index always lies in [1/n, 1].
+	shares := []float64{0.1, 3, 7, 0.5, 2}
+	got := JainFairness(shares)
+	if got < 1.0/float64(len(shares)) || got > 1 {
+		t.Errorf("JainFairness out of range: %v", got)
+	}
+}
+
+func TestSessionShares(t *testing.T) {
+	shares := SessionShares([]bw.Bits{10, 0, 20}, []bw.Bits{20, 5, 20})
+	if shares[0] != 2 || shares[1] != -1 || shares[2] != 1 {
+		t.Errorf("shares = %v", shares)
+	}
+}

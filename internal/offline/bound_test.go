@@ -1,0 +1,102 @@
+package offline
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+	"dynbw/internal/traffic"
+)
+
+func TestChangeLowerBoundConstantTraffic(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{4, 4, 4, 4, 4, 4, 4, 4})
+	lb, err := ChangeLowerBound(tr, Params{B: 16, D: 2, U: 0.5, W: 2})
+	if err != nil {
+		t.Fatalf("ChangeLowerBound: %v", err)
+	}
+	if lb != 0 {
+		t.Errorf("lb = %d, want 0 for constant traffic", lb)
+	}
+}
+
+func TestChangeLowerBoundBurstIdleCycles(t *testing.T) {
+	// Bursts separated by long silence: with a utilization bound each
+	// burst-silence cycle forces a change.
+	const cycles = 6
+	var arrivals []bw.Bits
+	for c := 0; c < cycles; c++ {
+		arrivals = append(arrivals, 64)
+		for i := 0; i < 31; i++ {
+			arrivals = append(arrivals, 0)
+		}
+	}
+	tr := trace.MustNew(arrivals)
+	p := Params{B: 64, D: 4, U: 0.5, W: 8}
+	lb, err := ChangeLowerBound(tr, p)
+	if err != nil {
+		t.Fatalf("ChangeLowerBound: %v", err)
+	}
+	if lb < cycles-1 {
+		t.Errorf("lb = %d, want >= %d (one per cycle)", lb, cycles-1)
+	}
+	// Sanity: the bound must not exceed what the actual greedy schedule
+	// does.
+	sched, err := Greedy(tr, p)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if lb > sched.Changes() {
+		t.Errorf("lower bound %d exceeds greedy's %d changes", lb, sched.Changes())
+	}
+}
+
+func TestChangeLowerBoundInfeasibleInput(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{1000})
+	if _, err := ChangeLowerBound(tr, Params{B: 2, D: 0}); err == nil {
+		t.Error("infeasible single tick accepted")
+	}
+}
+
+func TestChangeLowerBoundNoUtilization(t *testing.T) {
+	// Without a utilization constraint, any feasible trace admits the
+	// constant rate B forever: the bound must be 0.
+	g := traffic.ParetoBurst{Seed: 4, Alpha: 1.5, MinBurst: 40, MeanGap: 10, SpreadTicks: 2}
+	tr := traffic.ClampTrace(g.Generate(400), 64, 8)
+	lb, err := ChangeLowerBound(tr, Params{B: 64, D: 8})
+	if err != nil {
+		t.Fatalf("ChangeLowerBound: %v", err)
+	}
+	if lb != 0 {
+		t.Errorf("lb = %d, want 0 without a utilization bound", lb)
+	}
+}
+
+// Property: the certificate bound never exceeds the change count of the
+// actual greedy schedule (which is an upper bound on OPT, so
+// lb <= OPT <= greedy must hold).
+func TestChangeLowerBoundBelowGreedyProperty(t *testing.T) {
+	p := Params{B: 64, D: 4, U: 0.5, W: 8}
+	f := func(raw []uint8) bool {
+		if len(raw) > 120 {
+			raw = raw[:120]
+		}
+		arrivals := make([]bw.Bits, len(raw))
+		for i, v := range raw {
+			arrivals[i] = bw.Bits(v % 48)
+		}
+		tr := traffic.ClampTrace(trace.MustNew(arrivals), p.B, p.D)
+		lb, err := ChangeLowerBound(tr, p)
+		if err != nil {
+			return false
+		}
+		sched, err := Greedy(tr, p)
+		if err != nil {
+			return false
+		}
+		return lb <= sched.Changes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

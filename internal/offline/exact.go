@@ -1,0 +1,181 @@
+package offline
+
+import (
+	"fmt"
+	"math/bits"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+)
+
+// ExactMinChanges returns the minimum number of allocation changes any
+// piecewise-constant schedule needs to serve the trace within p, by
+// exhaustive search over segmentations. It relies on two structural facts:
+//
+//   - adjacent segments with equal rates are the same schedule as the
+//     merged segment, so it suffices to consider schedules whose adjacent
+//     rates differ — then the change count is the number of segments,
+//     minus one if the schedule starts with a zero-rate segment (matching
+//     the bw.Schedule.Changes convention);
+//   - within a fixed segmentation, serving each segment at its maximum
+//     feasible rate is optimal for feasibility, because a faster segment
+//     leaves pointwise-smaller backlog and the rate upper bound does not
+//     depend on backlog.
+//
+// The search is exponential in the trace length and intended for
+// instances of at most ~16 ticks; it exists to validate Greedy.
+func ExactMinChanges(tr *trace.Trace, p Params) (int, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	n := int(tr.Len())
+	if n == 0 {
+		return 0, nil
+	}
+	if n > 20 {
+		return 0, fmt.Errorf("offline: ExactMinChanges limited to 20 ticks, got %d", n)
+	}
+	best := -1
+	for mask := uint32(0); mask < 1<<(n-1); mask++ {
+		segments := bits.OnesCount32(mask) + 1
+		if best >= 0 && segments-1 >= best {
+			continue
+		}
+		changes, ok := evalSegmentation(tr, p, mask, n)
+		if ok && (best < 0 || changes < best) {
+			best = changes
+		}
+	}
+	if best < 0 {
+		return 0, ErrInfeasible
+	}
+	return best, nil
+}
+
+// evalSegmentation checks feasibility of a fixed segmentation using the
+// max-rate rule and returns its change count. If the first segment also
+// admits rate zero, the zero-leading variant is tried too (it is one
+// change cheaper but may carry more backlog).
+func evalSegmentation(tr *trace.Trace, p Params, mask uint32, n int) (int, bool) {
+	segs := segmentBounds(mask, n)
+	if count, ok := runSegments(tr, p, segs, false); ok {
+		bestCount := count
+		if zc, zok := runSegments(tr, p, segs, true); zok && zc < bestCount {
+			bestCount = zc
+		}
+		return bestCount, true
+	}
+	// Max-rate failed; the zero-leading variant only carries more
+	// backlog, so it cannot succeed either.
+	return 0, false
+}
+
+// segmentBounds expands a boundary mask into [start, end) pairs.
+func segmentBounds(mask uint32, n int) [][2]bw.Tick {
+	var segs [][2]bw.Tick
+	s := bw.Tick(0)
+	for s < bw.Tick(n) {
+		e := s + 1
+		for e < bw.Tick(n) && mask&(1<<(e-1)) == 0 {
+			e++
+		}
+		segs = append(segs, [2]bw.Tick{s, e})
+		s = e
+	}
+	return segs
+}
+
+// runSegments assigns rates to the segments (max-rate rule; optionally
+// forcing the first segment to zero) and reports the change count under
+// the Schedule.Changes convention.
+func runSegments(tr *trace.Trace, p Params, segs [][2]bw.Tick, zeroFirst bool) (int, bool) {
+	var carry []chunk
+	var rates []bw.Rate
+	priorAlloc := []bw.Bits{0}
+	for i, se := range segs {
+		s, end := se[0], se[1]
+		lo, hi, ok := rateIntervalFor(tr, p, s, end, carry, priorAlloc)
+		if !ok {
+			return 0, false
+		}
+		rate := hi
+		if i == 0 && zeroFirst {
+			if lo > 0 {
+				return 0, false
+			}
+			rate = 0
+		}
+		rates = append(rates, rate)
+		carry = serveSegment(tr, p, s, end, carry, rate)
+		for u := s; u < end; u++ {
+			priorAlloc = append(priorAlloc, priorAlloc[len(priorAlloc)-1]+rate)
+		}
+	}
+	// Remaining backlog must be serveable by the last rate alone.
+	if len(carry) > 0 {
+		rate := rates[len(rates)-1]
+		end := segs[len(segs)-1][1]
+		var due bw.Bits
+		for _, c := range carry {
+			due += c.bits
+			if c.deadline < end || due > rate*(c.deadline-end+1) {
+				return 0, false
+			}
+		}
+	}
+	changes := 0
+	prev := bw.Rate(0)
+	for _, r := range rates {
+		if r != prev {
+			changes++
+			prev = r
+		}
+	}
+	return changes, true
+}
+
+// rateIntervalFor returns the interval [lo, hi] of rates that keep the
+// segment [s, end) feasible given the carried backlog and the allocation
+// fixed before s, deferring deadlines beyond end to later segments, or
+// ok = false when empty.
+func rateIntervalFor(tr *trace.Trace, p Params, s, end bw.Tick, carry []chunk, priorAlloc []bw.Bits) (lo, hi bw.Rate, ok bool) {
+	var due, carryTotal bw.Bits
+	for _, c := range carry {
+		due += c.bits
+		carryTotal += c.bits
+		if c.deadline < s {
+			return 0, 0, false
+		}
+		if c.deadline < end {
+			if need := bw.CeilDiv(due, c.deadline-s+1); need > lo {
+				lo = need
+			}
+		}
+	}
+	hi = p.B
+	for t := s; t < end; t++ {
+		// Deadline constraints for arrival windows whose deadline falls
+		// inside this segment.
+		d := t + p.D
+		if d < end {
+			for a := s; a <= t; a++ {
+				in := tr.Window(a, t+1)
+				if a == s {
+					in += carryTotal
+				}
+				if need := bw.CeilDiv(in, d-a+1); need > lo {
+					lo = need
+				}
+			}
+		}
+		if p.U > 0 {
+			if h := utilizationCap(tr, p, s, t, priorAlloc); h < hi {
+				hi = h
+			}
+		}
+	}
+	if lo > hi {
+		return 0, 0, false
+	}
+	return lo, hi, true
+}

@@ -1,0 +1,45 @@
+package offline_test
+
+import (
+	"fmt"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/offline"
+	"dynbw/internal/trace"
+)
+
+// ExampleGreedy computes a clairvoyant minimum-change schedule for a
+// burst-then-idle demand under delay and utilization bounds.
+func ExampleGreedy() {
+	demand := trace.MustNew([]bw.Bits{
+		16, 16, 16, 16, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0,
+	})
+	params := offline.Params{B: 64, D: 4, U: 0.5, W: 4}
+	sched, err := offline.Greedy(demand, params)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("changes=%d feasible=%v\n",
+		sched.Changes(), offline.VerifySchedule(demand, sched, params) == nil)
+	// Output:
+	// changes=2 feasible=true
+}
+
+// ExampleChangeLowerBound certifies how many changes ANY schedule needs.
+func ExampleChangeLowerBound() {
+	// Two burst/idle cycles: the utilization bound forces a change in
+	// each.
+	demand := trace.MustNew([]bw.Bits{
+		32, 0, 0, 0, 0, 0, 0, 0,
+		32, 0, 0, 0, 0, 0, 0, 0,
+	})
+	lb, err := offline.ChangeLowerBound(demand, offline.Params{B: 64, D: 2, U: 0.5, W: 4})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("every schedule makes at least %d changes\n", lb)
+	// Output:
+	// every schedule makes at least 3 changes
+}

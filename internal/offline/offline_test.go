@@ -1,0 +1,244 @@
+package offline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+	"dynbw/internal/traffic"
+)
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{B: 0, D: 1},
+		{B: 4, D: -1},
+		{B: 4, D: 1, U: -0.1},
+		{B: 4, D: 1, U: 1.5},
+		{B: 4, D: 1, U: 0.5, W: 0},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted: %+v", i, p)
+		}
+	}
+	good := Params{B: 4, D: 1, U: 0.5, W: 2}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+}
+
+func TestGreedyEmptyTrace(t *testing.T) {
+	sched, err := Greedy(trace.MustNew(nil), Params{B: 4, D: 1})
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if sched.Changes() != 0 {
+		t.Errorf("Changes = %d", sched.Changes())
+	}
+}
+
+func TestGreedyConstantTraffic(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{4, 4, 4, 4, 4, 4, 4, 4})
+	p := Params{B: 16, D: 2}
+	sched, err := Greedy(tr, p)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if err := VerifySchedule(tr, sched, p); err != nil {
+		t.Fatalf("VerifySchedule: %v", err)
+	}
+	// One constant rate suffices: exactly 1 change.
+	if sched.Changes() != 1 {
+		t.Errorf("Changes = %d, want 1", sched.Changes())
+	}
+}
+
+func TestGreedyInfeasible(t *testing.T) {
+	// 100 bits due within 2 ticks at max rate 4: impossible.
+	tr := trace.MustNew([]bw.Bits{100})
+	_, err := Greedy(tr, Params{B: 4, D: 1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestGreedyUtilizationForcesChanges(t *testing.T) {
+	// High burst then long idle: with a utilization bound, one constant
+	// rate cannot cover both; without it, the peak rate can.
+	arrivals := make([]bw.Bits, 40)
+	for i := 0; i < 8; i++ {
+		arrivals[i] = 16
+	}
+	tr := trace.MustNew(arrivals)
+
+	noUtil, err := Greedy(tr, Params{B: 64, D: 4})
+	if err != nil {
+		t.Fatalf("Greedy no-util: %v", err)
+	}
+	withUtil, err := Greedy(tr, Params{B: 64, D: 4, U: 0.5, W: 8})
+	if err != nil {
+		t.Fatalf("Greedy with-util: %v", err)
+	}
+	if withUtil.Changes() <= noUtil.Changes() {
+		t.Errorf("utilization bound did not force extra changes: %d vs %d",
+			withUtil.Changes(), noUtil.Changes())
+	}
+}
+
+func TestGreedySchedulesAreFeasibleOnRandomTraffic(t *testing.T) {
+	const (
+		b = bw.Rate(32)
+		d = bw.Tick(6)
+	)
+	gens := []traffic.Generator{
+		traffic.OnOff{Seed: 1, PeakRate: 16, MeanOn: 8, MeanOff: 12},
+		traffic.ParetoBurst{Seed: 2, Alpha: 1.4, MinBurst: 30, MeanGap: 10, SpreadTicks: 2},
+		traffic.Spike{Seed: 3, Base: 2, SpikeBits: 40, SpikeProb: 0.04},
+		traffic.CBR{Rate: 9},
+	}
+	for i, g := range gens {
+		tr := traffic.ClampTrace(g.Generate(300), b, d)
+		sched, err := Greedy(tr, Params{B: b, D: d})
+		if err != nil {
+			t.Fatalf("gen %d: Greedy: %v", i, err)
+		}
+		if err := VerifySchedule(tr, sched, Params{B: b, D: d}); err != nil {
+			t.Errorf("gen %d: %v", i, err)
+		}
+	}
+}
+
+func TestGreedyFeasibleWithUtilization(t *testing.T) {
+	g := traffic.OnOff{Seed: 9, PeakRate: 16, MeanOn: 20, MeanOff: 20}
+	tr := traffic.ClampTrace(g.Generate(400), 32, 8)
+	p := Params{B: 32, D: 8, U: 0.25, W: 8}
+	sched, err := Greedy(tr, p)
+	if err != nil {
+		t.Fatalf("Greedy: %v", err)
+	}
+	if err := VerifySchedule(tr, sched, p); err != nil {
+		t.Errorf("VerifySchedule: %v", err)
+	}
+}
+
+func TestVerifyScheduleCatchesViolations(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{10, 0, 0})
+	tooSlow := &bw.Schedule{}
+	for i := bw.Tick(0); i < 3; i++ {
+		tooSlow.Set(i, 1)
+	}
+	if err := VerifySchedule(tr, tooSlow, Params{B: 16, D: 1}); err == nil {
+		t.Error("missed-deadline schedule passed verification")
+	}
+
+	tooFast := &bw.Schedule{}
+	for i := bw.Tick(0); i < 3; i++ {
+		tooFast.Set(i, 100)
+	}
+	if err := VerifySchedule(tr, tooFast, Params{B: 16, D: 1}); err == nil {
+		t.Error("over-budget schedule passed verification")
+	}
+
+	short := &bw.Schedule{}
+	short.Set(0, 10)
+	if err := VerifySchedule(tr, short, Params{B: 16, D: 1}); err == nil {
+		t.Error("truncated schedule passed verification")
+	}
+}
+
+func TestExactMinChangesSmallCases(t *testing.T) {
+	tests := []struct {
+		name     string
+		arrivals []bw.Bits
+		p        Params
+		want     int
+	}{
+		{
+			name:     "constant",
+			arrivals: []bw.Bits{3, 3, 3, 3},
+			p:        Params{B: 8, D: 1},
+			want:     1,
+		},
+		{
+			name:     "idle",
+			arrivals: []bw.Bits{0, 0, 0},
+			p:        Params{B: 8, D: 1},
+			want:     0,
+		},
+		{
+			name:     "one burst",
+			arrivals: []bw.Bits{8, 0, 0, 0},
+			p:        Params{B: 8, D: 3},
+			want:     1,
+		},
+		{
+			name: "utilization forces two levels",
+			// burst then idle with a tight utilization window
+			arrivals: []bw.Bits{8, 8, 0, 0, 0, 0},
+			p:        Params{B: 8, D: 1, U: 0.5, W: 2},
+			want:     2,
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := ExactMinChanges(trace.MustNew(tt.arrivals), tt.p)
+			if err != nil {
+				t.Fatalf("ExactMinChanges: %v", err)
+			}
+			if got != tt.want {
+				t.Errorf("ExactMinChanges = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestExactMinChangesInfeasible(t *testing.T) {
+	_, err := ExactMinChanges(trace.MustNew([]bw.Bits{100}), Params{B: 2, D: 1})
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestExactMinChangesRejectsLongTraces(t *testing.T) {
+	long := make([]bw.Bits, 30)
+	if _, err := ExactMinChanges(trace.MustNew(long), Params{B: 2, D: 1}); err == nil {
+		t.Error("long trace accepted")
+	}
+}
+
+// Property: Greedy never beats the exact optimum, and is within a small
+// additive factor of it on tiny instances.
+func TestGreedyVersusExactProperty(t *testing.T) {
+	f := func(raw []uint8, dRaw uint8) bool {
+		if len(raw) > 10 {
+			raw = raw[:10]
+		}
+		arrivals := make([]bw.Bits, len(raw))
+		for i, v := range raw {
+			arrivals[i] = bw.Bits(v % 12)
+		}
+		d := bw.Tick(dRaw%3) + 1
+		p := Params{B: 16, D: d}
+		tr := traffic.ClampTrace(trace.MustNew(arrivals), p.B, p.D)
+		exact, err := ExactMinChanges(tr, p)
+		if err != nil {
+			return false
+		}
+		sched, err := Greedy(tr, p)
+		if err != nil {
+			return false
+		}
+		if VerifySchedule(tr, sched, p) != nil {
+			return false
+		}
+		g := sched.Changes()
+		// Greedy >= exact, and on pure delay-bounded instances greedy
+		// should stay within a small gap of optimal.
+		return g >= exact && g <= 2*exact+2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestKnownStream(t *testing.T) {
+	// Pin the first outputs of splitmix64 seeded with 0 so that any change
+	// to the generator (which would silently change every experiment)
+	// fails loudly.
+	s := New(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := s.Uint64(); got != w {
+			t.Errorf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	s := New(7)
+	for i := 0; i < 10000; i++ {
+		v := s.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestInt64nRange(t *testing.T) {
+	s := New(9)
+	const n = int64(1) << 40
+	for i := 0; i < 1000; i++ {
+		v := s.Int64n(n)
+		if v < 0 || v >= n {
+			t.Fatalf("Int64n = %d out of range", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(11)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of range", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(13)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += s.Exp(5)
+	}
+	if mean := sum / n; math.Abs(mean-5) > 0.1 {
+		t.Errorf("Exp(5) sample mean = %v, want ~5", mean)
+	}
+}
+
+func TestParetoProperties(t *testing.T) {
+	s := New(17)
+	const (
+		alpha = 1.5
+		xm    = 2.0
+		n     = 200000
+	)
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Pareto(alpha, xm)
+		if v < xm {
+			t.Fatalf("Pareto sample %v below scale %v", v, xm)
+		}
+		sum += v
+	}
+	// E[X] = alpha*xm/(alpha-1) = 6. Heavy tail: allow a generous margin.
+	if mean := sum / n; mean < 5 || mean > 8 {
+		t.Errorf("Pareto(1.5, 2) sample mean = %v, want ~6", mean)
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	s := New(19)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Norm(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Norm mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Errorf("Norm stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	s := New(23)
+	const n = 100000
+	count := 0
+	for i := 0; i < n; i++ {
+		if s.Bool(0.3) {
+			count++
+		}
+	}
+	if p := float64(count) / n; math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(5)
+	child := parent.Split()
+	// A child stream must not replay the parent stream.
+	a, b := parent.Uint64(), child.Uint64()
+	if a == b {
+		t.Error("child stream equals parent stream")
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Source
+	if s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Error("zero-value source produced zeros")
+	}
+}

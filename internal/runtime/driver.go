@@ -1,0 +1,171 @@
+// Package runtime hosts a dynamic bandwidth allocation policy in real
+// time: a Driver owns the sending-end queue, advances the allocator once
+// per tick, and reports allocation changes and deliveries through
+// callbacks. It is the integration layer an application would embed — the
+// simulator in internal/sim replays traces through the same Allocator
+// interface, so a policy validated offline runs unmodified here.
+//
+// The Driver follows the goroutine-lifecycle rules of the style guide: it
+// spawns exactly one goroutine, owns a stop/done channel pair, and
+// Shutdown blocks until the goroutine has exited. The tick source is
+// injected, so tests drive it deterministically and production code hands
+// it a time.Ticker channel.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/metrics"
+	"dynbw/internal/queue"
+	"dynbw/internal/sim"
+)
+
+// Driver runs an allocator against live arrivals.
+type Driver struct {
+	alloc sim.Allocator
+	ticks <-chan time.Time
+
+	mu      sync.Mutex
+	pending bw.Bits
+
+	onChange   func(t bw.Tick, rate bw.Rate)
+	onDelivery func(bits bw.Bits)
+
+	stop chan struct{}
+	done chan struct{}
+
+	// loop-owned state, published in the final Stats after done closes.
+	q     queue.FIFO
+	sched bw.Schedule
+	now   bw.Tick
+}
+
+// Option configures a Driver.
+type Option interface {
+	apply(*Driver)
+}
+
+type optionFunc func(*Driver)
+
+func (f optionFunc) apply(d *Driver) { f(d) }
+
+// WithChangeHandler registers a callback invoked (from the driver
+// goroutine) whenever the allocation changes. Handlers must not block.
+func WithChangeHandler(fn func(t bw.Tick, rate bw.Rate)) Option {
+	return optionFunc(func(d *Driver) { d.onChange = fn })
+}
+
+// WithDeliveryHandler registers a callback invoked (from the driver
+// goroutine) with the number of bits delivered each tick. Handlers must
+// not block.
+func WithDeliveryHandler(fn func(bits bw.Bits)) Option {
+	return optionFunc(func(d *Driver) { d.onDelivery = fn })
+}
+
+// Stats is the final accounting returned by Shutdown.
+type Stats struct {
+	Ticks     bw.Tick
+	Submitted bw.Bits
+	Served    bw.Bits
+	Queued    bw.Bits
+	Changes   int
+	Delay     metrics.DelayStats
+	MaxRate   bw.Rate
+}
+
+// New starts a Driver that advances one tick for every value received on
+// ticks. Pass a time.Ticker's channel in production or a manual channel
+// in tests. The returned Driver must be Shutdown to release its goroutine.
+func New(alloc sim.Allocator, ticks <-chan time.Time, opts ...Option) (*Driver, error) {
+	if alloc == nil {
+		return nil, fmt.Errorf("runtime: nil allocator")
+	}
+	if ticks == nil {
+		return nil, fmt.Errorf("runtime: nil tick source")
+	}
+	d := &Driver{
+		alloc: alloc,
+		ticks: ticks,
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	for _, o := range opts {
+		o.apply(d)
+	}
+	go d.loop()
+	return d, nil
+}
+
+// Submit adds bits to be transmitted. Safe for concurrent use; the bits
+// join the queue at the next tick.
+func (d *Driver) Submit(bits bw.Bits) error {
+	if bits < 0 {
+		return fmt.Errorf("runtime: negative submission %d", bits)
+	}
+	d.mu.Lock()
+	d.pending += bits
+	d.mu.Unlock()
+	return nil
+}
+
+// Shutdown stops the driver goroutine, waits for it to exit, and returns
+// the final statistics. It is idempotent only in the sense that calling
+// it twice panics (close of closed channel) — call it exactly once.
+func (d *Driver) Shutdown() Stats {
+	close(d.stop)
+	<-d.done
+	var submitted bw.Bits
+	d.mu.Lock()
+	submitted = d.pending // any bits never picked up
+	d.mu.Unlock()
+	return Stats{
+		Ticks:     d.now,
+		Submitted: d.q.Served() + d.q.Bits() + submitted,
+		Served:    d.q.Served(),
+		Queued:    d.q.Bits(),
+		Changes:   d.sched.Changes(),
+		Delay: metrics.DelayStats{
+			Max:    d.q.MaxDelay(),
+			P50:    d.q.DelayQuantile(0.50),
+			P99:    d.q.DelayQuantile(0.99),
+			Served: d.q.Served(),
+		},
+		MaxRate: d.sched.MaxRate(),
+	}
+}
+
+func (d *Driver) loop() {
+	defer close(d.done)
+	var lastRate bw.Rate
+	for {
+		select {
+		case <-d.stop:
+			return
+		case <-d.ticks:
+			d.mu.Lock()
+			arrived := d.pending
+			d.pending = 0
+			d.mu.Unlock()
+
+			t := d.now
+			d.q.Push(t, arrived)
+			rate := d.alloc.Rate(t, arrived, d.q.Bits())
+			if rate < 0 {
+				rate = 0 // defensive: a broken policy must not wedge the driver
+			}
+			d.sched.Set(t, rate)
+			if d.onChange != nil && (t == 0 || rate != lastRate) {
+				d.onChange(t, rate)
+			}
+			lastRate = rate
+			served := d.q.Serve(t, rate)
+			if d.onDelivery != nil && served > 0 {
+				d.onDelivery(served)
+			}
+			d.now++
+		}
+	}
+}

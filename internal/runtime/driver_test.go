@@ -1,0 +1,245 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/sim"
+)
+
+// manualClock drives a Driver deterministically.
+type manualClock struct {
+	ch chan time.Time
+}
+
+func newManualClock() *manualClock {
+	return &manualClock{ch: make(chan time.Time)}
+}
+
+// tick advances the driver by one tick and waits for it to be consumed.
+func (c *manualClock) tick() {
+	c.ch <- time.Time{}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, make(chan time.Time)); err == nil {
+		t.Error("nil allocator accepted")
+	}
+	alloc := sim.AllocatorFunc(func(bw.Tick, bw.Bits, bw.Bits) bw.Rate { return 1 })
+	if _, err := New(alloc, nil); err == nil {
+		t.Error("nil tick source accepted")
+	}
+}
+
+func TestDriverServesSubmissions(t *testing.T) {
+	clock := newManualClock()
+	alloc := sim.AllocatorFunc(func(_ bw.Tick, _, queued bw.Bits) bw.Rate {
+		return queued // serve everything each tick
+	})
+	var delivered bw.Bits
+	var mu sync.Mutex
+	d, err := New(alloc, clock.ch, WithDeliveryHandler(func(bits bw.Bits) {
+		mu.Lock()
+		delivered += bits
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Submit(40); err != nil {
+		t.Fatal(err)
+	}
+	clock.tick()
+	if err := d.Submit(2); err != nil {
+		t.Fatal(err)
+	}
+	clock.tick()
+	stats := d.Shutdown()
+	mu.Lock()
+	got := delivered
+	mu.Unlock()
+	if got != 42 {
+		t.Errorf("delivered %d, want 42", got)
+	}
+	if stats.Served != 42 || stats.Queued != 0 || stats.Ticks != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+	if stats.Delay.Max != 0 {
+		t.Errorf("delay = %d, want 0 for immediate service", stats.Delay.Max)
+	}
+}
+
+func TestDriverChangeCallback(t *testing.T) {
+	clock := newManualClock()
+	rates := []bw.Rate{0, 4, 4, 8}
+	i := 0
+	alloc := sim.AllocatorFunc(func(bw.Tick, bw.Bits, bw.Bits) bw.Rate {
+		r := rates[i%len(rates)]
+		i++
+		return r
+	})
+	var changes []bw.Rate
+	var mu sync.Mutex
+	d, err := New(alloc, clock.ch, WithChangeHandler(func(_ bw.Tick, rate bw.Rate) {
+		mu.Lock()
+		changes = append(changes, rate)
+		mu.Unlock()
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range rates {
+		clock.tick()
+	}
+	d.Shutdown()
+	mu.Lock()
+	defer mu.Unlock()
+	want := []bw.Rate{0, 4, 8} // tick 0 always reported, then transitions
+	if len(changes) != len(want) {
+		t.Fatalf("changes = %v, want %v", changes, want)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Errorf("change %d = %d, want %d", i, changes[i], want[i])
+		}
+	}
+}
+
+func TestDriverRejectsNegativeSubmission(t *testing.T) {
+	clock := newManualClock()
+	alloc := sim.AllocatorFunc(func(bw.Tick, bw.Bits, bw.Bits) bw.Rate { return 1 })
+	d, err := New(alloc, clock.ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Shutdown()
+	if err := d.Submit(-1); err == nil {
+		t.Error("negative submission accepted")
+	}
+}
+
+func TestDriverClampsNegativeRate(t *testing.T) {
+	clock := newManualClock()
+	alloc := sim.AllocatorFunc(func(bw.Tick, bw.Bits, bw.Bits) bw.Rate { return -5 })
+	d, err := New(alloc, clock.ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Submit(10)
+	clock.tick()
+	stats := d.Shutdown()
+	if stats.Served != 0 || stats.Queued != 10 {
+		t.Errorf("stats = %+v, want nothing served", stats)
+	}
+}
+
+func TestDriverShutdownWithoutTicks(t *testing.T) {
+	clock := newManualClock()
+	alloc := sim.AllocatorFunc(func(bw.Tick, bw.Bits, bw.Bits) bw.Rate { return 1 })
+	d, err := New(alloc, clock.ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Submit(7)
+	stats := d.Shutdown() // no tick ever fired
+	if stats.Submitted != 7 || stats.Served != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestDriverRunsPaperAlgorithm(t *testing.T) {
+	// End-to-end: the paper's allocator behind the live driver keeps its
+	// delay guarantee for a bursty submission pattern.
+	p := core.SingleParams{BA: 64, DO: 4, UO: 0.5, W: 8}
+	clock := newManualClock()
+	d, err := New(core.MustNewSingleSession(p), clock.ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	burst := []bw.Bits{30, 0, 0, 12, 0, 5, 0, 0, 0, 0, 20, 0, 0, 0, 0, 0}
+	for round := 0; round < 8; round++ {
+		for _, b := range burst {
+			d.Submit(b)
+			clock.tick()
+		}
+	}
+	// Drain.
+	for i := 0; i < 32; i++ {
+		clock.tick()
+	}
+	stats := d.Shutdown()
+	if stats.Queued != 0 {
+		t.Fatalf("driver did not drain: %d bits queued", stats.Queued)
+	}
+	if stats.Delay.Max > p.DA() {
+		t.Errorf("max delay %d exceeds guarantee %d", stats.Delay.Max, p.DA())
+	}
+	if stats.Changes == 0 || stats.MaxRate == 0 {
+		t.Errorf("no allocation activity: %+v", stats)
+	}
+}
+
+func TestDriverConcurrentSubmitters(t *testing.T) {
+	clock := newManualClock()
+	alloc := sim.AllocatorFunc(func(_ bw.Tick, _, queued bw.Bits) bw.Rate { return queued })
+	d, err := New(alloc, clock.ch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const (
+		workers = 8
+		each    = 100
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				d.Submit(1)
+			}
+		}()
+	}
+	wg.Wait()
+	clock.tick()
+	stats := d.Shutdown()
+	if stats.Served != workers*each {
+		t.Errorf("served %d, want %d", stats.Served, workers*each)
+	}
+}
+
+func TestDriverWithRealTicker(t *testing.T) {
+	// Smoke test with a real time.Ticker: the driver must make progress
+	// and shut down cleanly.
+	ticker := time.NewTicker(time.Millisecond)
+	defer ticker.Stop()
+	alloc := sim.AllocatorFunc(func(_ bw.Tick, _, queued bw.Bits) bw.Rate { return queued })
+	d, err := New(alloc, ticker.C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Submit(100)
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case <-deadline:
+			d.Shutdown()
+			t.Fatal("driver made no progress under a real ticker")
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+		d.mu.Lock()
+		pending := d.pending
+		d.mu.Unlock()
+		if pending == 0 {
+			break
+		}
+	}
+	stats := d.Shutdown()
+	if stats.Served != 100 {
+		t.Errorf("served %d, want 100", stats.Served)
+	}
+}

@@ -1,0 +1,32 @@
+package runtime_test
+
+import (
+	"fmt"
+	"time"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/runtime"
+)
+
+// Example shows the paper's algorithm hosted live: submissions arrive
+// between ticks, the driver advances the allocator per tick, and Shutdown
+// returns the accounting.
+func Example() {
+	ticks := make(chan time.Time)
+	params := core.SingleParams{BA: 64, DO: 4, UO: 0.5, W: 8}
+	driver, err := runtime.New(core.MustNewSingleSession(params), ticks)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	driver.Submit(bw.Bits(30))
+	for i := 0; i < 8; i++ {
+		ticks <- time.Time{}
+	}
+	stats := driver.Shutdown()
+	fmt.Printf("served=%d changes=%d maxDelay=%d\n",
+		stats.Served, stats.Changes, stats.Delay.Max)
+	// Output:
+	// served=30 changes=1 maxDelay=3
+}

@@ -1,0 +1,102 @@
+package series
+
+import (
+	"bytes"
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+)
+
+func sched(rates []bw.Rate) *bw.Schedule {
+	s := &bw.Schedule{}
+	for t, r := range rates {
+		s.Set(bw.Tick(t), r)
+	}
+	return s
+}
+
+func TestDemandBuckets(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{4, 4, 8, 0, 2})
+	pts := Demand(tr, 2)
+	want := []Point{{T: 0, V: 4}, {T: 2, V: 4}, {T: 4, V: 2}}
+	if len(pts) != len(want) {
+		t.Fatalf("points = %v", pts)
+	}
+	for i, w := range want {
+		if pts[i] != w {
+			t.Errorf("point %d = %v, want %v", i, pts[i], w)
+		}
+	}
+}
+
+func TestAllocationBuckets(t *testing.T) {
+	s := sched([]bw.Rate{2, 4, 6, 8})
+	pts := Allocation(s, 2)
+	if len(pts) != 2 || pts[0].V != 3 || pts[1].V != 7 {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestQueueOccupancy(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{10, 0, 0})
+	s := sched([]bw.Rate{4, 4, 4})
+	pts := QueueOccupancy(tr, s, 1)
+	want := []int64{6, 2, 0}
+	for i, w := range want {
+		if pts[i].V != w {
+			t.Errorf("occupancy[%d] = %d, want %d", i, pts[i].V, w)
+		}
+	}
+}
+
+func TestQueueOccupancyBucketsTakeMax(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{10, 0, 0, 0})
+	s := sched([]bw.Rate{4, 4, 4, 4})
+	pts := QueueOccupancy(tr, s, 2)
+	if len(pts) != 2 || pts[0].V != 6 || pts[1].V != 0 {
+		t.Errorf("points = %v", pts)
+	}
+}
+
+func TestValues(t *testing.T) {
+	vals := Values([]Point{{T: 0, V: 3}, {T: 1, V: 9}})
+	if len(vals) != 2 || vals[0] != 3 || vals[1] != 9 {
+		t.Errorf("vals = %v", vals)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := []Point{{T: 0, V: 1}, {T: 4, V: 2}}
+	b := []Point{{T: 0, V: 3}, {T: 4, V: 4}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"demand", "alloc"}, a, b); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	want := "tick,demand,alloc\n0,1,3\n4,2,4\n"
+	if buf.String() != want {
+		t.Errorf("CSV = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestWriteCSVErrors(t *testing.T) {
+	a := []Point{{T: 0, V: 1}}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, []string{"x", "y"}, a); err == nil {
+		t.Error("name/column mismatch accepted")
+	}
+	if err := WriteCSV(&buf, nil); err == nil {
+		t.Error("empty columns accepted")
+	}
+	if err := WriteCSV(&buf, []string{"x", "y"}, a, []Point{}); err == nil {
+		t.Error("ragged columns accepted")
+	}
+}
+
+func TestBucketClamping(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{1, 2, 3})
+	pts := Demand(tr, 0) // clamped to 1
+	if len(pts) != 3 {
+		t.Errorf("bucket 0 not clamped: %v", pts)
+	}
+}

@@ -1,0 +1,180 @@
+// Package signal implements the renegotiation signalling the paper prices:
+// "in today's ATM switches [a bandwidth change] would normally require the
+// invocation of software in every switch on the session path" (Section 1).
+// A Switch is one such network element exposing a tiny binary protocol
+// over TCP; a Path dials every switch on a session's route and performs a
+// bandwidth change by signalling them in order, measuring the end-to-end
+// renegotiation latency. Together with internal/runtime this turns an
+// allocation policy into a running system: the driver's change callback
+// feeds Path.SetRate.
+//
+// Wire format (big endian):
+//
+//	byte 0:      message type
+//	SetRate:     type=1, session uint32, seq uint64, rate int64
+//	Ack:         type=2, seq uint64
+//	Nak:         type=3, seq uint64, code uint16
+package signal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Message types.
+const (
+	TypeSetRate byte = 1
+	TypeAck     byte = 2
+	TypeNak     byte = 3
+	TypeGetRate byte = 4
+	TypeRate    byte = 5
+)
+
+// Nak codes.
+const (
+	NakBadRate uint16 = 1
+)
+
+// SetRate asks a switch to change a session's reserved bandwidth.
+type SetRate struct {
+	Session uint32
+	Seq     uint64
+	Rate    int64
+}
+
+// Ack confirms a SetRate.
+type Ack struct {
+	Seq uint64
+}
+
+// Nak rejects a SetRate.
+type Nak struct {
+	Seq  uint64
+	Code uint16
+}
+
+// GetRate asks a switch for a session's current reservation.
+type GetRate struct {
+	Session uint32
+	Seq     uint64
+}
+
+// Rate reports a session's reservation (0 if none).
+type Rate struct {
+	Seq  uint64
+	Rate int64
+}
+
+// Message is one protocol message.
+type Message interface {
+	messageType() byte
+}
+
+func (SetRate) messageType() byte { return TypeSetRate }
+func (Ack) messageType() byte     { return TypeAck }
+func (Nak) messageType() byte     { return TypeNak }
+func (GetRate) messageType() byte { return TypeGetRate }
+func (Rate) messageType() byte    { return TypeRate }
+
+var (
+	_ Message = SetRate{}
+	_ Message = Ack{}
+	_ Message = Nak{}
+	_ Message = GetRate{}
+	_ Message = Rate{}
+)
+
+// ErrUnknownType is returned by ReadMessage for unrecognized bytes.
+var ErrUnknownType = errors.New("signal: unknown message type")
+
+// WriteMessage encodes m onto w.
+func WriteMessage(w io.Writer, m Message) error {
+	var buf [1 + 4 + 8 + 8]byte
+	buf[0] = m.messageType()
+	var n int
+	switch v := m.(type) {
+	case SetRate:
+		binary.BigEndian.PutUint32(buf[1:], v.Session)
+		binary.BigEndian.PutUint64(buf[5:], v.Seq)
+		binary.BigEndian.PutUint64(buf[13:], uint64(v.Rate))
+		n = 21
+	case Ack:
+		binary.BigEndian.PutUint64(buf[1:], v.Seq)
+		n = 9
+	case Nak:
+		binary.BigEndian.PutUint64(buf[1:], v.Seq)
+		binary.BigEndian.PutUint16(buf[9:], v.Code)
+		n = 11
+	case GetRate:
+		binary.BigEndian.PutUint32(buf[1:], v.Session)
+		binary.BigEndian.PutUint64(buf[5:], v.Seq)
+		n = 13
+	case Rate:
+		binary.BigEndian.PutUint64(buf[1:], v.Seq)
+		binary.BigEndian.PutUint64(buf[9:], uint64(v.Rate))
+		n = 17
+	default:
+		return fmt.Errorf("signal: cannot encode %T", m)
+	}
+	if _, err := w.Write(buf[:n]); err != nil {
+		return fmt.Errorf("signal: write: %w", err)
+	}
+	return nil
+}
+
+// ReadMessage decodes one message from r.
+func ReadMessage(r io.Reader) (Message, error) {
+	var typ [1]byte
+	if _, err := io.ReadFull(r, typ[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	switch typ[0] {
+	case TypeSetRate:
+		var body [20]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return nil, fmt.Errorf("signal: short SetRate: %w", err)
+		}
+		return SetRate{
+			Session: binary.BigEndian.Uint32(body[0:]),
+			Seq:     binary.BigEndian.Uint64(body[4:]),
+			Rate:    int64(binary.BigEndian.Uint64(body[12:])),
+		}, nil
+	case TypeAck:
+		var body [8]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return nil, fmt.Errorf("signal: short Ack: %w", err)
+		}
+		return Ack{Seq: binary.BigEndian.Uint64(body[:])}, nil
+	case TypeNak:
+		var body [10]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return nil, fmt.Errorf("signal: short Nak: %w", err)
+		}
+		return Nak{
+			Seq:  binary.BigEndian.Uint64(body[0:]),
+			Code: binary.BigEndian.Uint16(body[8:]),
+		}, nil
+	case TypeGetRate:
+		var body [12]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return nil, fmt.Errorf("signal: short GetRate: %w", err)
+		}
+		return GetRate{
+			Session: binary.BigEndian.Uint32(body[0:]),
+			Seq:     binary.BigEndian.Uint64(body[4:]),
+		}, nil
+	case TypeRate:
+		var body [16]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return nil, fmt.Errorf("signal: short Rate: %w", err)
+		}
+		return Rate{
+			Seq:  binary.BigEndian.Uint64(body[0:]),
+			Rate: int64(binary.BigEndian.Uint64(body[8:])),
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, typ[0])
+	}
+}

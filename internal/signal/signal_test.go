@@ -1,0 +1,229 @@
+package signal
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestMessageRoundTrip(t *testing.T) {
+	msgs := []Message{
+		SetRate{Session: 7, Seq: 42, Rate: 1024},
+		SetRate{Session: 0, Seq: 0, Rate: 0},
+		Ack{Seq: 99},
+		Nak{Seq: 12, Code: NakBadRate},
+	}
+	for _, m := range msgs {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write %T: %v", m, err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read %T: %v", m, err)
+		}
+		if got != m {
+			t.Errorf("round trip %T: got %+v, want %+v", m, got, m)
+		}
+	}
+}
+
+func TestMessageRoundTripProperty(t *testing.T) {
+	f := func(session uint32, seq uint64, rate int64) bool {
+		var buf bytes.Buffer
+		m := SetRate{Session: session, Seq: seq, Rate: rate}
+		if err := WriteMessage(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMessage(&buf)
+		return err == nil && got == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadMessageErrors(t *testing.T) {
+	if _, err := ReadMessage(strings.NewReader("")); !errors.Is(err, io.EOF) {
+		t.Errorf("empty read err = %v, want EOF", err)
+	}
+	if _, err := ReadMessage(strings.NewReader("\xff")); !errors.Is(err, ErrUnknownType) {
+		t.Errorf("unknown type err = %v", err)
+	}
+	// Truncated SetRate.
+	if _, err := ReadMessage(strings.NewReader("\x01abc")); err == nil {
+		t.Error("truncated message accepted")
+	}
+}
+
+func TestSwitchAppliesRates(t *testing.T) {
+	sw, err := NewSwitch("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+
+	p, err := Dial([]string{sw.Addr()}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if _, err := p.SetRate(5, 128); err != nil {
+		t.Fatalf("SetRate: %v", err)
+	}
+	if r, ok := sw.Rate(5); !ok || r != 128 {
+		t.Errorf("switch rate = %d, %v", r, ok)
+	}
+	// Rate 0 releases the reservation.
+	if _, err := p.SetRate(5, 0); err != nil {
+		t.Fatalf("SetRate(0): %v", err)
+	}
+	if _, ok := sw.Rate(5); ok {
+		t.Error("reservation not released")
+	}
+	if sw.Sessions() != 0 {
+		t.Errorf("Sessions = %d", sw.Sessions())
+	}
+}
+
+func TestSwitchNaksNegativeRate(t *testing.T) {
+	sw, err := NewSwitch("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	p, err := Dial([]string{sw.Addr()}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if _, err := p.SetRate(1, -4); !errors.Is(err, ErrNak) {
+		t.Errorf("err = %v, want ErrNak", err)
+	}
+}
+
+func TestPathSignalsEverySwitch(t *testing.T) {
+	const hops = 3
+	var switches []*Switch
+	var addrs []string
+	for i := 0; i < hops; i++ {
+		sw, err := NewSwitch("127.0.0.1:0", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer sw.Close()
+		switches = append(switches, sw)
+		addrs = append(addrs, sw.Addr())
+	}
+	p, err := Dial(addrs, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Hops() != hops {
+		t.Fatalf("Hops = %d", p.Hops())
+	}
+	if _, err := p.SetRate(9, 77); err != nil {
+		t.Fatal(err)
+	}
+	for i, sw := range switches {
+		if r, ok := sw.Rate(9); !ok || r != 77 {
+			t.Errorf("switch %d rate = %d, %v", i, r, ok)
+		}
+	}
+}
+
+func TestRenegotiationLatencyGrowsWithPath(t *testing.T) {
+	const perSwitch = 3 * time.Millisecond
+	mkPath := func(hops int) (*Path, func()) {
+		var addrs []string
+		var closers []func() error
+		for i := 0; i < hops; i++ {
+			sw, err := NewSwitch("127.0.0.1:0", perSwitch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			addrs = append(addrs, sw.Addr())
+			closers = append(closers, sw.Close)
+		}
+		p, err := Dial(addrs, time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p, func() {
+			p.Close()
+			for _, c := range closers {
+				c()
+			}
+		}
+	}
+	short, closeShort := mkPath(1)
+	defer closeShort()
+	long, closeLong := mkPath(4)
+	defer closeLong()
+
+	shortLat, err := short.SetRate(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	longLat, err := long.SetRate(1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longLat <= shortLat {
+		t.Errorf("4-hop latency %v not above 1-hop %v", longLat, shortLat)
+	}
+	if longLat < 4*perSwitch {
+		t.Errorf("4-hop latency %v below the 4x processing floor %v", longLat, 4*perSwitch)
+	}
+}
+
+func TestDialErrors(t *testing.T) {
+	if _, err := Dial(nil, time.Second); err == nil {
+		t.Error("empty path accepted")
+	}
+	if _, err := Dial([]string{"127.0.0.1:1"}, 50*time.Millisecond); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestQueryRate(t *testing.T) {
+	sw, err := NewSwitch("127.0.0.1:0", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	p, err := Dial([]string{sw.Addr()}, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	if r, err := p.QueryRate(3); err != nil || r != 0 {
+		t.Errorf("QueryRate before set = %d, %v", r, err)
+	}
+	if _, err := p.SetRate(3, 512); err != nil {
+		t.Fatal(err)
+	}
+	if r, err := p.QueryRate(3); err != nil || r != 512 {
+		t.Errorf("QueryRate after set = %d, %v", r, err)
+	}
+}
+
+func TestGetRateMessageRoundTrip(t *testing.T) {
+	for _, m := range []Message{GetRate{Session: 4, Seq: 8}, Rate{Seq: 8, Rate: 256}} {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, m); err != nil {
+			t.Fatalf("write %T: %v", m, err)
+		}
+		got, err := ReadMessage(&buf)
+		if err != nil || got != m {
+			t.Errorf("round trip %T: got %+v (%v)", m, got, err)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package signal
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Switch is one network element on a session path: it accepts signalling
+// connections and applies SetRate requests to its reservation table after
+// a configurable processing delay (the "invocation of software in every
+// switch" the paper identifies as the cost of a bandwidth change).
+type Switch struct {
+	ln         net.Listener
+	processing time.Duration
+
+	mu    sync.Mutex
+	rates map[uint32]int64
+
+	wg      sync.WaitGroup
+	closing chan struct{}
+}
+
+// NewSwitch starts a switch listening on addr (use "127.0.0.1:0" for an
+// ephemeral test port). processing is the per-request software delay.
+func NewSwitch(addr string, processing time.Duration) (*Switch, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("signal: listen: %w", err)
+	}
+	s := &Switch{
+		ln:         ln,
+		processing: processing,
+		rates:      make(map[uint32]int64),
+		closing:    make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the switch's listen address.
+func (s *Switch) Addr() string { return s.ln.Addr().String() }
+
+// Rate returns the reserved rate for a session.
+func (s *Switch) Rate(session uint32) (int64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rates[session]
+	return r, ok
+}
+
+// Sessions returns the number of sessions with reservations.
+func (s *Switch) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rates)
+}
+
+// Close stops accepting connections and waits for in-flight handlers.
+func (s *Switch) Close() error {
+	close(s.closing)
+	err := s.ln.Close()
+	s.wg.Wait()
+	return err
+}
+
+func (s *Switch) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.closing:
+				return
+			default:
+				// Transient accept error: keep serving.
+				continue
+			}
+		}
+		s.wg.Add(1)
+		go s.handle(conn)
+	}
+}
+
+func (s *Switch) handle(conn net.Conn) {
+	defer s.wg.Done()
+	defer conn.Close()
+	for {
+		msg, err := ReadMessage(conn)
+		if err != nil {
+			return // EOF or protocol error: drop the connection
+		}
+		var reply Message
+		switch req := msg.(type) {
+		case SetRate:
+			// Applying a change invokes switch software: charge the
+			// processing delay the paper identifies as the cost of a
+			// renegotiation.
+			if s.processing > 0 {
+				select {
+				case <-time.After(s.processing):
+				case <-s.closing:
+					return
+				}
+			}
+			if req.Rate < 0 {
+				reply = Nak{Seq: req.Seq, Code: NakBadRate}
+				break
+			}
+			s.mu.Lock()
+			if req.Rate == 0 {
+				delete(s.rates, req.Session)
+			} else {
+				s.rates[req.Session] = req.Rate
+			}
+			s.mu.Unlock()
+			reply = Ack{Seq: req.Seq}
+		case GetRate:
+			s.mu.Lock()
+			rate := s.rates[req.Session]
+			s.mu.Unlock()
+			reply = Rate{Seq: req.Seq, Rate: rate}
+		default:
+			return // clients only send requests
+		}
+		if err := WriteMessage(conn, reply); err != nil {
+			return
+		}
+	}
+}
+
+// Path is a client-side session route: an ordered list of switches that
+// must all accept a bandwidth change before it takes effect, as in the
+// paper's model where every switch on the path participates in a
+// renegotiation.
+type Path struct {
+	conns []net.Conn
+	seq   uint64
+}
+
+// ErrNak is returned when a switch rejects a rate change.
+var ErrNak = errors.New("signal: rate change rejected")
+
+// Dial connects to every switch on the route, in order.
+func Dial(addrs []string, timeout time.Duration) (*Path, error) {
+	if len(addrs) == 0 {
+		return nil, fmt.Errorf("signal: empty path")
+	}
+	p := &Path{}
+	for _, a := range addrs {
+		conn, err := net.DialTimeout("tcp", a, timeout)
+		if err != nil {
+			p.Close()
+			return nil, fmt.Errorf("signal: dial %s: %w", a, err)
+		}
+		p.conns = append(p.conns, conn)
+	}
+	return p, nil
+}
+
+// SetRate signals the new rate to every switch on the path, in order,
+// waiting for each acknowledgment. It returns the end-to-end
+// renegotiation latency — the quantity whose minimization motivates the
+// whole paper.
+func (p *Path) SetRate(session uint32, rate int64) (time.Duration, error) {
+	start := time.Now()
+	p.seq++
+	req := SetRate{Session: session, Seq: p.seq, Rate: rate}
+	for i, conn := range p.conns {
+		if err := WriteMessage(conn, req); err != nil {
+			return 0, fmt.Errorf("switch %d: %w", i, err)
+		}
+		reply, err := ReadMessage(conn)
+		if err != nil {
+			return 0, fmt.Errorf("switch %d: read: %w", i, err)
+		}
+		switch r := reply.(type) {
+		case Ack:
+			if r.Seq != req.Seq {
+				return 0, fmt.Errorf("switch %d: ack for seq %d, want %d", i, r.Seq, req.Seq)
+			}
+		case Nak:
+			return 0, fmt.Errorf("switch %d: %w (code %d)", i, ErrNak, r.Code)
+		default:
+			return 0, fmt.Errorf("switch %d: unexpected reply %T", i, reply)
+		}
+	}
+	return time.Since(start), nil
+}
+
+// QueryRate asks the first switch on the path for a session's current
+// reservation (all switches hold the same value after a successful
+// SetRate).
+func (p *Path) QueryRate(session uint32) (int64, error) {
+	p.seq++
+	if err := WriteMessage(p.conns[0], GetRate{Session: session, Seq: p.seq}); err != nil {
+		return 0, fmt.Errorf("signal: query: %w", err)
+	}
+	reply, err := ReadMessage(p.conns[0])
+	if err != nil {
+		return 0, fmt.Errorf("signal: query read: %w", err)
+	}
+	r, ok := reply.(Rate)
+	if !ok || r.Seq != p.seq {
+		return 0, fmt.Errorf("signal: unexpected query reply %+v", reply)
+	}
+	return r.Rate, nil
+}
+
+// Hops returns the number of switches on the path.
+func (p *Path) Hops() int { return len(p.conns) }
+
+// Close tears down every connection.
+func (p *Path) Close() {
+	for _, c := range p.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	p.conns = nil
+}

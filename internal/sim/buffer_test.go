@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+)
+
+func TestQueueCapDropsExcess(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{100})
+	res, err := Run(tr, fixedRate(10), Options{QueueCap: 30})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dropped != 70 {
+		t.Errorf("Dropped = %d, want 70", res.Dropped)
+	}
+	if res.Delay.Served != 30 {
+		t.Errorf("Served = %d, want 30", res.Delay.Served)
+	}
+	if res.PeakQueue != 30 {
+		t.Errorf("PeakQueue = %d, want 30", res.PeakQueue)
+	}
+}
+
+func TestQueueCapZeroMeansUnbounded(t *testing.T) {
+	tr := trace.MustNew([]bw.Bits{100})
+	res, err := Run(tr, fixedRate(10), Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dropped != 0 {
+		t.Errorf("Dropped = %d without a cap", res.Dropped)
+	}
+	if res.PeakQueue != 100 {
+		t.Errorf("PeakQueue = %d, want 100", res.PeakQueue)
+	}
+}
+
+func TestQueueCapPartialDropKeepsFIFO(t *testing.T) {
+	// With a cap of 5 and rate 5, each tick's overflow is dropped but
+	// everything admitted is served the same tick.
+	tr := trace.MustNew([]bw.Bits{8, 8, 8})
+	res, err := Run(tr, fixedRate(5), Options{QueueCap: 5})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dropped != 9 {
+		t.Errorf("Dropped = %d, want 9", res.Dropped)
+	}
+	if res.Delay.Max != 0 {
+		t.Errorf("MaxDelay = %d, want 0", res.Delay.Max)
+	}
+}

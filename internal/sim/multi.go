@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"fmt"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/metrics"
+	"dynbw/internal/queue"
+	"dynbw/internal/trace"
+)
+
+// MultiAllocator is a bandwidth allocation policy for k sessions sharing a
+// channel (Section 3 of the paper). Rates is called once per tick, after
+// arrivals have been enqueued, and returns the per-session allocations.
+type MultiAllocator interface {
+	// Rates returns the per-session allocations at tick t. arrived[i] and
+	// queued[i] describe session i. The returned slice must have length k
+	// and non-negative entries; the simulator does not retain it.
+	Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate
+}
+
+// MultiResult is the outcome of a multi-session run.
+type MultiResult struct {
+	// Sessions holds the per-session schedules.
+	Sessions []*bw.Schedule
+	// Total is the aggregate allocation schedule (sum over sessions).
+	Total *bw.Schedule
+	// Delay summarizes per-bit delays across all sessions.
+	Delay metrics.DelayStats
+	// SessionDelays holds the per-session maximum delay.
+	SessionDelays []bw.Tick
+	// Report aggregates metrics against the aggregate arrival stream.
+	Report metrics.Report
+}
+
+// SessionChanges returns the total number of allocation changes summed over
+// the per-session schedules — the cost measure of Theorems 14 and 17.
+func (r *MultiResult) SessionChanges() int {
+	total := 0
+	for _, s := range r.Sessions {
+		total += s.Changes()
+	}
+	return total
+}
+
+// TotalChanges returns the number of changes of the aggregate (total
+// bandwidth) schedule — the "global changes" of Section 4.
+func (r *MultiResult) TotalChanges() int { return r.Total.Changes() }
+
+// MaxTotalRate returns the peak aggregate allocation, for checking the
+// B_A = 4*B_O / 5*B_O resource bounds.
+func (r *MultiResult) MaxTotalRate() bw.Rate { return r.Total.MaxRate() }
+
+// RunMulti simulates the allocator on k parallel sessions.
+func RunMulti(m *trace.Multi, alloc MultiAllocator, opts Options) (*MultiResult, error) {
+	k := m.K()
+	n := m.Len()
+	limit := n + opts.drainBudget(n)
+
+	queues := make([]queue.FIFO, k)
+	scheds := make([]*bw.Schedule, k)
+	for i := range scheds {
+		scheds[i] = &bw.Schedule{}
+	}
+	arrived := make([]bw.Bits, k)
+	queued := make([]bw.Bits, k)
+
+	t := bw.Tick(0)
+	for ; t < limit; t++ {
+		var pending bw.Bits
+		for i := 0; i < k; i++ {
+			arrived[i] = m.Session(i).At(t)
+			queues[i].Push(t, arrived[i])
+			queued[i] = queues[i].Bits()
+			pending += queued[i]
+		}
+		if t >= n && pending == 0 {
+			break
+		}
+		rates := alloc.Rates(t, arrived, queued)
+		if len(rates) != k {
+			return nil, fmt.Errorf("sim: allocator returned %d rates, want %d", len(rates), k)
+		}
+		for i, r := range rates {
+			if r < 0 {
+				return nil, fmt.Errorf("sim: session %d negative rate %d at tick %d", i, r, t)
+			}
+			scheds[i].Set(t, r)
+			queues[i].Serve(t, r)
+		}
+	}
+	var left bw.Bits
+	for i := range queues {
+		left += queues[i].Bits()
+	}
+	if left > 0 {
+		return nil, fmt.Errorf("%w: %d bits left after %d ticks", ErrQueueNeverDrained, left, limit)
+	}
+
+	var (
+		maxDelay bw.Tick
+		served   bw.Bits
+	)
+	sessionDelays := make([]bw.Tick, k)
+	for i := range queues {
+		sessionDelays[i] = queues[i].MaxDelay()
+		if sessionDelays[i] > maxDelay {
+			maxDelay = sessionDelays[i]
+		}
+		served += queues[i].Served()
+	}
+	total := bw.Sum(scheds...)
+	agg := m.Aggregate()
+	delay := metrics.DelayStats{Max: maxDelay, Served: served}
+	return &MultiResult{
+		Sessions:      scheds,
+		Total:         total,
+		Delay:         delay,
+		SessionDelays: sessionDelays,
+		Report:        metrics.BuildReport(agg, total, delay),
+	}, nil
+}

@@ -1,0 +1,18 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"dynbw/internal/stats"
+	"dynbw/internal/traffic"
+)
+
+// ExamplePeakToMean quantifies how bursty two canonical sources are.
+func ExamplePeakToMean() {
+	smooth := traffic.CBR{Rate: 8}.Generate(1024)
+	bursty := traffic.OnOff{Seed: 1, PeakRate: 64, MeanOn: 4, MeanOff: 28}.Generate(1024)
+	fmt.Printf("cbr %.1f, onoff %.1f\n",
+		stats.PeakToMean(smooth), stats.PeakToMean(bursty))
+	// Output:
+	// cbr 1.0, onoff 9.1
+}

@@ -1,0 +1,177 @@
+// Package stats characterizes arrival traces: burstiness (peak-to-mean),
+// short-range correlation (lag autocorrelation), and long-range
+// dependence (Hurst exponent via rescaled-range analysis). The paper's
+// premise is traffic whose "required bandwidth may change dramatically
+// over time, usually in an unpredictable manner" — these statistics put
+// numbers on that premise for the synthetic workload suite (experiment
+// E18), validating that the generators span the regimes they claim.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+)
+
+// PeakToMean returns the ratio of the largest single-tick arrival to the
+// mean arrival rate; 1 for perfectly smooth traffic, large for bursts.
+// It returns 0 for an empty or all-zero trace.
+func PeakToMean(tr *trace.Trace) float64 {
+	if tr.Len() == 0 || tr.Total() == 0 {
+		return 0
+	}
+	mean := float64(tr.Total()) / float64(tr.Len())
+	return float64(tr.Peak()) / mean
+}
+
+// Autocorrelation returns the lag-k autocorrelation of the per-tick
+// arrival counts, in [-1, 1]. It returns 0 when the trace is shorter than
+// k+2 ticks or has zero variance.
+func Autocorrelation(tr *trace.Trace, lag bw.Tick) float64 {
+	n := tr.Len()
+	if lag < 1 || n < lag+2 {
+		return 0
+	}
+	mean := float64(tr.Total()) / float64(n)
+	var num, den float64
+	for t := bw.Tick(0); t < n; t++ {
+		d := float64(tr.At(t)) - mean
+		den += d * d
+		if t+lag < n {
+			num += d * (float64(tr.At(t+lag)) - mean)
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Hurst estimates the Hurst exponent of the arrival process by
+// rescaled-range (R/S) analysis: for a set of block sizes it computes the
+// mean rescaled range and fits log(R/S) against log(blockSize) by least
+// squares. H ~ 0.5 indicates short-range dependence (Poisson-like); H in
+// (0.5, 1) indicates long-range dependence (self-similar traffic).
+//
+// The estimate needs a few hundred ticks to be meaningful; it returns an
+// error for traces shorter than 64 ticks or without variance.
+func Hurst(tr *trace.Trace) (float64, error) {
+	n := int(tr.Len())
+	if n < 64 {
+		return 0, fmt.Errorf("stats: Hurst needs >= 64 ticks, got %d", n)
+	}
+	vals := tr.Arrivals()
+
+	var xs, ys []float64
+	for size := 8; size <= n/4; size *= 2 {
+		rs, ok := meanRescaledRange(vals, size)
+		if !ok {
+			continue
+		}
+		xs = append(xs, math.Log(float64(size)))
+		ys = append(ys, math.Log(rs))
+	}
+	if len(xs) < 3 {
+		return 0, fmt.Errorf("stats: trace has too little variance for R/S analysis")
+	}
+	slope, ok := leastSquaresSlope(xs, ys)
+	if !ok {
+		return 0, fmt.Errorf("stats: degenerate R/S regression")
+	}
+	return slope, nil
+}
+
+// meanRescaledRange computes the average R/S statistic over consecutive
+// blocks of the given size.
+func meanRescaledRange(vals []bw.Bits, size int) (float64, bool) {
+	blocks := len(vals) / size
+	if blocks < 1 {
+		return 0, false
+	}
+	var sum float64
+	used := 0
+	for b := 0; b < blocks; b++ {
+		seg := vals[b*size : (b+1)*size]
+		var mean float64
+		for _, v := range seg {
+			mean += float64(v)
+		}
+		mean /= float64(size)
+
+		var (
+			cum, minC, maxC float64
+			variance        float64
+		)
+		for _, v := range seg {
+			d := float64(v) - mean
+			cum += d
+			if cum < minC {
+				minC = cum
+			}
+			if cum > maxC {
+				maxC = cum
+			}
+			variance += d * d
+		}
+		std := math.Sqrt(variance / float64(size))
+		if std == 0 {
+			continue
+		}
+		sum += (maxC - minC) / std
+		used++
+	}
+	if used == 0 || sum == 0 {
+		return 0, false
+	}
+	return sum / float64(used), true
+}
+
+// leastSquaresSlope fits y = a + b*x and returns b.
+func leastSquaresSlope(xs, ys []float64) (float64, bool) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, false
+	}
+	return (n*sxy - sx*sy) / den, true
+}
+
+// IndexOfDispersion returns the variance-to-mean ratio of arrivals over
+// windows of the given size — another standard burstiness measure (1 for
+// Poisson, > 1 for bursty/correlated traffic). It returns 0 when fewer
+// than two complete windows exist or the mean is zero.
+func IndexOfDispersion(tr *trace.Trace, window bw.Tick) float64 {
+	if window < 1 {
+		return 0
+	}
+	var sums []float64
+	for a := bw.Tick(0); a+window <= tr.Len(); a += window {
+		sums = append(sums, float64(tr.Window(a, a+window)))
+	}
+	if len(sums) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, s := range sums {
+		mean += s
+	}
+	mean /= float64(len(sums))
+	if mean == 0 {
+		return 0
+	}
+	var variance float64
+	for _, s := range sums {
+		variance += (s - mean) * (s - mean)
+	}
+	variance /= float64(len(sums))
+	return variance / mean
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/rng"
+	"dynbw/internal/trace"
+	"dynbw/internal/traffic"
+)
+
+func TestPeakToMean(t *testing.T) {
+	smooth := trace.MustNew([]bw.Bits{4, 4, 4, 4})
+	if got := PeakToMean(smooth); got != 1 {
+		t.Errorf("smooth PeakToMean = %v, want 1", got)
+	}
+	bursty := trace.MustNew([]bw.Bits{16, 0, 0, 0})
+	if got := PeakToMean(bursty); got != 4 {
+		t.Errorf("bursty PeakToMean = %v, want 4", got)
+	}
+	if got := PeakToMean(trace.MustNew(nil)); got != 0 {
+		t.Errorf("empty PeakToMean = %v", got)
+	}
+}
+
+func TestAutocorrelation(t *testing.T) {
+	// Alternating values have strong negative lag-1 autocorrelation.
+	alt := make([]bw.Bits, 200)
+	for i := range alt {
+		if i%2 == 0 {
+			alt[i] = 10
+		}
+	}
+	tr := trace.MustNew(alt)
+	if got := Autocorrelation(tr, 1); got > -0.8 {
+		t.Errorf("alternating lag-1 autocorr = %v, want strongly negative", got)
+	}
+	if got := Autocorrelation(tr, 2); got < 0.8 {
+		t.Errorf("alternating lag-2 autocorr = %v, want strongly positive", got)
+	}
+	// Constant traffic: zero variance.
+	if got := Autocorrelation(trace.MustNew([]bw.Bits{3, 3, 3, 3}), 1); got != 0 {
+		t.Errorf("constant autocorr = %v, want 0", got)
+	}
+	if got := Autocorrelation(tr, 0); got != 0 {
+		t.Errorf("lag-0 should report 0, got %v", got)
+	}
+}
+
+func TestHurstErrors(t *testing.T) {
+	if _, err := Hurst(trace.MustNew(make([]bw.Bits, 32))); err == nil {
+		t.Error("short trace accepted")
+	}
+	if _, err := Hurst(trace.MustNew(make([]bw.Bits, 512))); err == nil {
+		t.Error("zero-variance trace accepted")
+	}
+}
+
+func TestHurstSeparatesRegimes(t *testing.T) {
+	// Uncorrelated noise: H ~ 0.5. Self-similar aggregate: H well above.
+	src := rng.New(11)
+	noise := make([]bw.Bits, 8192)
+	for i := range noise {
+		noise[i] = bw.Bits(src.Intn(32))
+	}
+	hNoise, err := Hurst(trace.MustNew(noise))
+	if err != nil {
+		t.Fatalf("Hurst(noise): %v", err)
+	}
+	ss := traffic.SelfSimilar{Seed: 7, Sources: 24, PeakRate: 4, Alpha: 1.3, MinPeriod: 4}
+	hSS, err := Hurst(ss.Generate(8192))
+	if err != nil {
+		t.Fatalf("Hurst(selfsim): %v", err)
+	}
+	if math.Abs(hNoise-0.5) > 0.15 {
+		t.Errorf("iid noise Hurst = %v, want ~0.5", hNoise)
+	}
+	if hSS < hNoise+0.1 {
+		t.Errorf("self-similar Hurst %v not above noise %v", hSS, hNoise)
+	}
+	if hSS < 0.6 {
+		t.Errorf("self-similar Hurst = %v, want > 0.6", hSS)
+	}
+}
+
+func TestIndexOfDispersion(t *testing.T) {
+	// Constant windows: variance 0 -> IDC 0.
+	if got := IndexOfDispersion(trace.MustNew([]bw.Bits{4, 4, 4, 4, 4, 4, 4, 4}), 2); got != 0 {
+		t.Errorf("constant IDC = %v", got)
+	}
+	// Bursty windows: IDC well above 1.
+	var arrivals []bw.Bits
+	for c := 0; c < 16; c++ {
+		arrivals = append(arrivals, 64, 0, 0, 0, 0, 0, 0, 0)
+	}
+	// Use window 4 so windows alternate between 64 and 0.
+	got := IndexOfDispersion(trace.MustNew(arrivals), 4)
+	if got <= 1 {
+		t.Errorf("bursty IDC = %v, want > 1", got)
+	}
+	if got := IndexOfDispersion(trace.MustNew([]bw.Bits{1}), 4); got != 0 {
+		t.Errorf("too-short IDC = %v", got)
+	}
+}

@@ -1,0 +1,64 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV asserts the single-session parser never panics and that
+// anything it accepts round-trips through WriteCSV.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("tick,bits\n0,1\n1,2\n")
+	f.Add("0,5\n")
+	f.Add("")
+	f.Add("tick,bits\n0,-1\n")
+	f.Add("garbage")
+	f.Add("0,1\n2,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ReadCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV after successful parse: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output: %v", err)
+		}
+		if back.Len() != tr.Len() || back.Total() != tr.Total() {
+			t.Fatalf("round trip changed the trace: %d/%d -> %d/%d",
+				tr.Len(), tr.Total(), back.Len(), back.Total())
+		}
+	})
+}
+
+// FuzzReadMultiCSV asserts the multi-session parser never panics and that
+// accepted inputs round-trip.
+func FuzzReadMultiCSV(f *testing.F) {
+	f.Add("tick,session,bits\n0,0,1\n0,1,2\n1,0,3\n1,1,4\n")
+	f.Add("0,0,9\n")
+	f.Add("")
+	f.Add("0,0,1\n0,2,1\n")
+	f.Add("0,0,1\n1,0,1\n1,1,1\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		m, err := ReadMultiCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := m.WriteCSV(&buf); err != nil {
+			t.Fatalf("WriteCSV after successful parse: %v", err)
+		}
+		back, err := ReadMultiCSV(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of own output: %v", err)
+		}
+		if back.K() != m.K() || back.Len() != m.Len() {
+			t.Fatalf("round trip changed the shape: %dx%d -> %dx%d",
+				m.K(), m.Len(), back.K(), back.Len())
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"dynbw/internal/bw"
+)
+
+// WriteCSV writes the multi-session trace as CSV with header
+// "tick,session,bits", in row-major order (ticks outer, sessions inner).
+// Every (tick, session) pair is written so the session count is explicit.
+func (m *Multi) WriteCSV(w io.Writer) error {
+	bufw := bufio.NewWriter(w)
+	if _, err := bufw.WriteString("tick,session,bits\n"); err != nil {
+		return fmt.Errorf("write header: %w", err)
+	}
+	for t := bw.Tick(0); t < m.Len(); t++ {
+		for i, s := range m.sessions {
+			bufw.WriteString(strconv.FormatInt(t, 10))
+			bufw.WriteByte(',')
+			bufw.WriteString(strconv.Itoa(i))
+			bufw.WriteByte(',')
+			bufw.WriteString(strconv.FormatInt(s.At(t), 10))
+			bufw.WriteByte('\n')
+		}
+	}
+	if err := bufw.Flush(); err != nil {
+		return fmt.Errorf("flush: %w", err)
+	}
+	return nil
+}
+
+// ReadMultiCSV parses a multi-session trace in the Multi.WriteCSV format:
+// rows must cover every (tick, session) pair in row-major order starting
+// at tick 0, session 0.
+func ReadMultiCSV(r io.Reader) (*Multi, error) {
+	type row struct {
+		tick bw.Tick
+		sess int
+		bits bw.Bits
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var rows []row
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if line == 1 && strings.HasPrefix(text, "tick") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("line %d: want 3 fields, got %d", line, len(parts))
+		}
+		t, err := strconv.ParseInt(strings.TrimSpace(parts[0]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: tick: %w", line, err)
+		}
+		s, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("line %d: session: %w", line, err)
+		}
+		bits, err := strconv.ParseInt(strings.TrimSpace(parts[2]), 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bits: %w", line, err)
+		}
+		if bits < 0 {
+			return nil, fmt.Errorf("line %d: %w", line, ErrNegativeArrival)
+		}
+		rows = append(rows, row{tick: t, sess: s, bits: bits})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("trace: empty multi-session CSV")
+	}
+
+	// The session count is the length of the tick-0 prefix.
+	k := 0
+	for k < len(rows) && rows[k].tick == 0 {
+		k++
+	}
+	if k == 0 || len(rows)%k != 0 {
+		return nil, fmt.Errorf("trace: %d rows do not form complete ticks of %d sessions", len(rows), k)
+	}
+	n := len(rows) / k
+	arrivals := make([][]bw.Bits, k)
+	for i := range arrivals {
+		arrivals[i] = make([]bw.Bits, n)
+	}
+	for idx, rw := range rows {
+		wantTick := bw.Tick(idx / k)
+		wantSess := idx % k
+		if rw.tick != wantTick || rw.sess != wantSess {
+			return nil, fmt.Errorf("trace: row %d is (tick %d, session %d), want (%d, %d)",
+				idx, rw.tick, rw.sess, wantTick, wantSess)
+		}
+		arrivals[rw.sess][rw.tick] = rw.bits
+	}
+	traces := make([]*Trace, k)
+	for i, a := range arrivals {
+		tr, err := New(a)
+		if err != nil {
+			return nil, err
+		}
+		traces[i] = tr
+	}
+	return NewMulti(traces)
+}

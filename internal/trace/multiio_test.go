@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"dynbw/internal/bw"
+)
+
+func TestMultiCSVRoundTrip(t *testing.T) {
+	m := MustNewMulti([]*Trace{
+		MustNew([]bw.Bits{1, 2, 3}),
+		MustNew([]bw.Bits{0, 5, 0}),
+	})
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	got, err := ReadMultiCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadMultiCSV: %v", err)
+	}
+	if got.K() != 2 || got.Len() != 3 {
+		t.Fatalf("round-trip shape: k=%d len=%d", got.K(), got.Len())
+	}
+	for i := 0; i < 2; i++ {
+		for tk := bw.Tick(0); tk < 3; tk++ {
+			if got.Session(i).At(tk) != m.Session(i).At(tk) {
+				t.Errorf("session %d tick %d: %d != %d",
+					i, tk, got.Session(i).At(tk), m.Session(i).At(tk))
+			}
+		}
+	}
+}
+
+func TestReadMultiCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "empty", in: "tick,session,bits\n"},
+		{name: "bad fields", in: "0,0\n"},
+		{name: "bad tick", in: "x,0,1\n"},
+		{name: "bad session", in: "0,x,1\n"},
+		{name: "bad bits", in: "0,0,x\n"},
+		{name: "negative bits", in: "0,0,-1\n"},
+		{name: "incomplete tick", in: "0,0,1\n0,1,1\n1,0,1\n"},
+		{name: "out of order", in: "0,0,1\n0,2,1\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadMultiCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("want error, got nil")
+			}
+		})
+	}
+}
+
+func TestReadMultiCSVNoHeader(t *testing.T) {
+	in := "0,0,4\n0,1,5\n1,0,6\n1,1,7\n"
+	m, err := ReadMultiCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("ReadMultiCSV: %v", err)
+	}
+	if m.K() != 2 || m.Len() != 2 {
+		t.Fatalf("shape: k=%d len=%d", m.K(), m.Len())
+	}
+	if m.Session(1).At(1) != 7 {
+		t.Errorf("Session(1).At(1) = %d", m.Session(1).At(1))
+	}
+}
+
+func TestMultiCSVSingleSession(t *testing.T) {
+	m := MustNewMulti([]*Trace{MustNew([]bw.Bits{9, 8})})
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMultiCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K() != 1 || got.Aggregate().Total() != 17 {
+		t.Errorf("k=%d total=%d", got.K(), got.Aggregate().Total())
+	}
+}

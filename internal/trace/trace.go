@@ -1,0 +1,264 @@
+// Package trace represents arrival streams — the "stream of incoming bits"
+// of the paper — as per-tick bit counts with O(1) window sums, plus the
+// feasibility conditions the paper's analysis relies on (the footnote on
+// page 2 assumes all input streams are feasible, and Claim 9 gives the
+// necessary arrival-bound condition for multi-session inputs).
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"dynbw/internal/bw"
+)
+
+// Trace is an arrival stream: Arrivals(t) bits arrive at the start of
+// tick t, for t in [0, Len()).
+type Trace struct {
+	arrivals []bw.Bits
+	// cum[i] = total arrivals in ticks [0, i).
+	cum []bw.Bits
+}
+
+// ErrNegativeArrival is returned by New when an arrival count is negative.
+var ErrNegativeArrival = errors.New("trace: negative arrival count")
+
+// New builds a Trace from per-tick arrival counts. The slice is copied.
+func New(arrivals []bw.Bits) (*Trace, error) {
+	for i, a := range arrivals {
+		if a < 0 {
+			return nil, fmt.Errorf("tick %d: %w", i, ErrNegativeArrival)
+		}
+	}
+	tr := &Trace{
+		arrivals: make([]bw.Bits, len(arrivals)),
+		cum:      make([]bw.Bits, len(arrivals)+1),
+	}
+	copy(tr.arrivals, arrivals)
+	for i, a := range tr.arrivals {
+		tr.cum[i+1] = tr.cum[i] + a
+	}
+	return tr, nil
+}
+
+// MustNew is New but panics on error; for tests and literals.
+func MustNew(arrivals []bw.Bits) *Trace {
+	tr, err := New(arrivals)
+	if err != nil {
+		panic(err)
+	}
+	return tr
+}
+
+// Len returns the number of ticks in the trace.
+func (tr *Trace) Len() bw.Tick { return bw.Tick(len(tr.arrivals)) }
+
+// At returns the arrivals at tick t; ticks outside [0, Len()) report 0.
+func (tr *Trace) At(t bw.Tick) bw.Bits {
+	if t < 0 || t >= tr.Len() {
+		return 0
+	}
+	return tr.arrivals[t]
+}
+
+// Window returns the total arrivals in ticks [a, b), clamped to the trace.
+// This is the paper's IN[a, b).
+func (tr *Trace) Window(a, b bw.Tick) bw.Bits {
+	if a < 0 {
+		a = 0
+	}
+	if b > tr.Len() {
+		b = tr.Len()
+	}
+	if a >= b {
+		return 0
+	}
+	return tr.cum[b] - tr.cum[a]
+}
+
+// Total returns all arrivals in the trace.
+func (tr *Trace) Total() bw.Bits { return tr.cum[len(tr.cum)-1] }
+
+// Peak returns the largest single-tick arrival.
+func (tr *Trace) Peak() bw.Bits {
+	var p bw.Bits
+	for _, a := range tr.arrivals {
+		if a > p {
+			p = a
+		}
+	}
+	return p
+}
+
+// MeanCeil returns the average arrivals per tick, rounded up.
+func (tr *Trace) MeanCeil() bw.Bits {
+	if len(tr.arrivals) == 0 {
+		return 0
+	}
+	return bw.CeilDiv(tr.Total(), int64(len(tr.arrivals)))
+}
+
+// PeakRate returns, for the given window size w >= 1, the maximum arrivals
+// over any w consecutive ticks divided (ceiling) by w: the peak sustained
+// rate at that time scale.
+func (tr *Trace) PeakRate(w bw.Tick) bw.Rate {
+	if w < 1 {
+		panic("trace: PeakRate window < 1")
+	}
+	var peak bw.Bits
+	for t := bw.Tick(0); t < tr.Len(); t++ {
+		if s := tr.Window(t, t+w); s > peak {
+			peak = s
+		}
+	}
+	return bw.CeilDiv(peak, w)
+}
+
+// Arrivals returns a copy of the per-tick arrival counts.
+func (tr *Trace) Arrivals() []bw.Bits {
+	out := make([]bw.Bits, len(tr.arrivals))
+	copy(out, tr.arrivals)
+	return out
+}
+
+// Slice returns the sub-trace of ticks [a, b), clamped.
+func (tr *Trace) Slice(a, b bw.Tick) *Trace {
+	if a < 0 {
+		a = 0
+	}
+	if b > tr.Len() {
+		b = tr.Len()
+	}
+	if a >= b {
+		return MustNew(nil)
+	}
+	return MustNew(tr.arrivals[a:b])
+}
+
+// Concat returns the concatenation of the given traces.
+func Concat(traces ...*Trace) *Trace {
+	var n int
+	for _, t := range traces {
+		n += len(t.arrivals)
+	}
+	all := make([]bw.Bits, 0, n)
+	for _, t := range traces {
+		all = append(all, t.arrivals...)
+	}
+	return MustNew(all)
+}
+
+// Sum returns the element-wise sum of the given traces, extended with zeros
+// to the longest length. It is the aggregate arrival stream of a set of
+// sessions.
+func Sum(traces ...*Trace) *Trace {
+	var n bw.Tick
+	for _, t := range traces {
+		if t.Len() > n {
+			n = t.Len()
+		}
+	}
+	all := make([]bw.Bits, n)
+	for _, t := range traces {
+		for i, a := range t.arrivals {
+			all[i] += a
+		}
+	}
+	return MustNew(all)
+}
+
+// MinBandwidthForDelay returns the minimum constant rate that serves the
+// whole trace with per-bit delay at most d, starting from an empty queue.
+// A bit arriving at tick t must be served by tick t+d; with a constant rate
+// b the arrivals of every window [a, t] must fit in (t + d - a + 1) ticks.
+func (tr *Trace) MinBandwidthForDelay(d bw.Tick) bw.Rate {
+	if d < 0 {
+		panic("trace: negative delay bound")
+	}
+	var need bw.Rate
+	// Work chronologically, tracking max over deadline constraints:
+	// rate >= ceil(cum[t+1] - cum[a] / (t + d - a + 1)) for all a <= t.
+	// Rather than O(n^2), observe the binding constraint for deadline t+d
+	// uses the start a that maximizes the ratio; we check all pairs for
+	// clarity at trace-construction sizes, but skip zero-arrival tails.
+	for t := bw.Tick(0); t < tr.Len(); t++ {
+		if tr.arrivals[t] == 0 {
+			continue
+		}
+		for a := bw.Tick(0); a <= t; a++ {
+			in := tr.Window(a, t+1)
+			if in == 0 {
+				continue
+			}
+			if r := bw.CeilDiv(in, t+d-a+1); r > need {
+				need = r
+			}
+		}
+	}
+	return need
+}
+
+// ServeableWith reports whether a constant rate b serves the whole trace
+// with per-bit delay at most d, starting from an empty queue.
+func (tr *Trace) ServeableWith(b bw.Rate, d bw.Tick) bool {
+	if b < 0 || d < 0 {
+		return false
+	}
+	// Simulate the FIFO fluid queue and check that every chunk finishes by
+	// its deadline (arrival tick + d).
+	type chunk struct {
+		arrived bw.Tick
+		bits    bw.Bits
+	}
+	var (
+		q     []chunk
+		queue bw.Bits
+		head  int
+	)
+	for t := bw.Tick(0); t < tr.Len()+d+1; t++ {
+		if a := tr.At(t); a > 0 {
+			q = append(q, chunk{arrived: t, bits: a})
+			queue += a
+		}
+		serve := bw.Min(b, queue)
+		queue -= serve
+		for serve > 0 && head < len(q) {
+			c := &q[head]
+			took := bw.Min(serve, c.bits)
+			c.bits -= took
+			serve -= took
+			if c.bits == 0 {
+				head++
+			}
+		}
+		// The oldest unserved chunk must not have an expired deadline at
+		// the end of tick t.
+		if head < len(q) && q[head].arrived+d <= t {
+			return false
+		}
+	}
+	return head == len(q)
+}
+
+// FeasibleSingle reports whether the trace can be served by a session with
+// maximum bandwidth maxB and delay bound d — the paper's standing
+// feasibility assumption for the single-session algorithm.
+func (tr *Trace) FeasibleSingle(maxB bw.Rate, d bw.Tick) bool {
+	return tr.ServeableWith(maxB, d)
+}
+
+// SatisfiesClaim9 reports whether the aggregate arrivals satisfy the
+// necessary condition of Claim 9: for every interval [t, t+delta), at most
+// (delta + d) * b bits arrive. Any input that some (b, d)-offline algorithm
+// can serve satisfies this.
+func (tr *Trace) SatisfiesClaim9(b bw.Rate, d bw.Tick) bool {
+	n := tr.Len()
+	for t := bw.Tick(0); t < n; t++ {
+		for u := t + 1; u <= n; u++ {
+			if tr.Window(t, u) > (u-t+d)*b {
+				return false
+			}
+		}
+	}
+	return true
+}

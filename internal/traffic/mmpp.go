@@ -1,0 +1,98 @@
+package traffic
+
+import (
+	"dynbw/internal/bw"
+	"dynbw/internal/rng"
+	"dynbw/internal/trace"
+)
+
+// MMPP is a Markov-modulated Poisson process: a hidden Markov chain over
+// m states, each with its own mean arrival rate; per tick the chain may
+// transition and the tick's arrivals are drawn around the current state's
+// rate. MMPPs are the standard parametric model for correlated, bursty
+// packet traffic — a richer regime than the two-state OnOff source.
+type MMPP struct {
+	Seed uint64
+	// Rates holds the mean bits/tick of each state (>= 1 state).
+	Rates []bw.Rate
+	// StayProb is the per-tick probability of remaining in the current
+	// state; transitions pick a uniformly random other state.
+	StayProb float64
+}
+
+var _ Generator = MMPP{}
+
+// Generate implements Generator.
+func (g MMPP) Generate(n bw.Tick) *trace.Trace {
+	if len(g.Rates) == 0 {
+		return trace.MustNew(make([]bw.Bits, n))
+	}
+	src := rng.New(g.Seed)
+	arrivals := make([]bw.Bits, n)
+	state := src.Intn(len(g.Rates))
+	for t := bw.Tick(0); t < n; t++ {
+		if len(g.Rates) > 1 && !src.Bool(g.StayProb) {
+			next := src.Intn(len(g.Rates) - 1)
+			if next >= state {
+				next++
+			}
+			state = next
+		}
+		mean := float64(g.Rates[state])
+		if mean <= 0 {
+			continue
+		}
+		// Poisson-like variate: exponential inter-arrival accumulation
+		// is overkill at fluid granularity; a clamped normal around the
+		// state rate preserves the MMPP's first two moments.
+		v := src.Norm(mean, mean/2)
+		if v < 0 {
+			v = 0
+		}
+		arrivals[t] = bw.Bits(v)
+	}
+	return trace.MustNew(arrivals)
+}
+
+// SelfSimilar approximates self-similar (long-range dependent) traffic by
+// multiplexing many OnOff sources with heavy-tailed (Pareto) on/off
+// period lengths — the classical construction behind the self-similarity
+// of aggregate network traffic.
+type SelfSimilar struct {
+	Seed uint64
+	// Sources is the number of multiplexed on/off flows.
+	Sources int
+	// PeakRate is each flow's on-state rate.
+	PeakRate bw.Rate
+	// Alpha is the Pareto shape of the period lengths (1 < Alpha < 2
+	// yields long-range dependence).
+	Alpha float64
+	// MinPeriod is the minimum on/off period length in ticks.
+	MinPeriod bw.Tick
+}
+
+var _ Generator = SelfSimilar{}
+
+// Generate implements Generator.
+func (g SelfSimilar) Generate(n bw.Tick) *trace.Trace {
+	root := rng.New(g.Seed)
+	arrivals := make([]bw.Bits, n)
+	for s := 0; s < g.Sources; s++ {
+		src := root.Split()
+		on := src.Bool(0.5)
+		for t := bw.Tick(0); t < n; {
+			period := bw.Tick(src.Pareto(g.Alpha, float64(g.MinPeriod)))
+			if period < g.MinPeriod {
+				period = g.MinPeriod
+			}
+			for j := bw.Tick(0); j < period && t < n; j++ {
+				if on {
+					arrivals[t] += g.PeakRate
+				}
+				t++
+			}
+			on = !on
+		}
+	}
+	return trace.MustNew(arrivals)
+}

@@ -1,0 +1,96 @@
+package traffic
+
+import (
+	"testing"
+
+	"dynbw/internal/bw"
+)
+
+func TestMMPPDeterministic(t *testing.T) {
+	g := MMPP{Seed: 1, Rates: []bw.Rate{4, 64}, StayProb: 0.95}
+	a := g.Generate(1000)
+	b := g.Generate(1000)
+	if a.Total() != b.Total() {
+		t.Error("MMPP not deterministic")
+	}
+	if a.Total() == 0 {
+		t.Error("MMPP produced no traffic")
+	}
+}
+
+func TestMMPPModulation(t *testing.T) {
+	// With two far-apart states and sticky transitions, the trace should
+	// show both regimes: windows near the low rate and windows near the
+	// high rate.
+	g := MMPP{Seed: 3, Rates: []bw.Rate{4, 256}, StayProb: 0.98}
+	tr := g.Generate(4000)
+	const w = 32
+	lowWindows, highWindows := 0, 0
+	for a := bw.Tick(0); a+w <= tr.Len(); a += w {
+		mean := tr.Window(a, a+w) / w
+		switch {
+		case mean < 32:
+			lowWindows++
+		case mean > 128:
+			highWindows++
+		}
+	}
+	if lowWindows == 0 || highWindows == 0 {
+		t.Errorf("modulation invisible: %d low, %d high windows", lowWindows, highWindows)
+	}
+}
+
+func TestMMPPEdgeCases(t *testing.T) {
+	empty := MMPP{Seed: 1}
+	if tr := empty.Generate(10); tr.Total() != 0 {
+		t.Error("no-state MMPP emitted traffic")
+	}
+	single := MMPP{Seed: 1, Rates: []bw.Rate{8}, StayProb: 0.5}
+	tr := single.Generate(500)
+	if tr.Total() == 0 {
+		t.Error("single-state MMPP emitted nothing")
+	}
+	zero := MMPP{Seed: 1, Rates: []bw.Rate{0}, StayProb: 1}
+	if tr := zero.Generate(100); tr.Total() != 0 {
+		t.Error("zero-rate state emitted traffic")
+	}
+}
+
+func TestSelfSimilarAggregates(t *testing.T) {
+	g := SelfSimilar{Seed: 5, Sources: 16, PeakRate: 4, Alpha: 1.4, MinPeriod: 4}
+	tr := g.Generate(4000)
+	if tr.Total() == 0 {
+		t.Fatal("no traffic")
+	}
+	// Aggregate of 16 on/off flows: peak per tick can't exceed 16*4.
+	if tr.Peak() > 64 {
+		t.Errorf("peak %d exceeds source aggregate 64", tr.Peak())
+	}
+	// Long-range dependence shows as high variance across coarse
+	// windows relative to a Poisson-like stream; check the coarse
+	// variance is not trivially flat.
+	const w = 128
+	var sums []int64
+	for a := bw.Tick(0); a+w <= tr.Len(); a += w {
+		sums = append(sums, tr.Window(a, a+w))
+	}
+	minS, maxS := sums[0], sums[0]
+	for _, s := range sums {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS-minS < maxS/4 {
+		t.Errorf("coarse windows too uniform for self-similar traffic: min %d max %d", minS, maxS)
+	}
+}
+
+func TestSelfSimilarDeterministic(t *testing.T) {
+	g := SelfSimilar{Seed: 9, Sources: 4, PeakRate: 8, Alpha: 1.5, MinPeriod: 2}
+	if g.Generate(500).Total() != g.Generate(500).Total() {
+		t.Error("SelfSimilar not deterministic")
+	}
+}

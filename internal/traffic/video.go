@@ -1,0 +1,116 @@
+package traffic
+
+import (
+	"dynbw/internal/bw"
+	"dynbw/internal/rng"
+	"dynbw/internal/trace"
+)
+
+// VBRVideo models MPEG-style variable-bit-rate video: frames arrive every
+// FrameInterval ticks in a repeating group-of-pictures (GoP) pattern
+// I B B P B B P B B P B B, where I frames are large, P frames medium and
+// B frames small, each with multiplicative noise. This is the paper's
+// motivating example of a session whose bandwidth requirement varies due
+// to compression.
+type VBRVideo struct {
+	Seed uint64
+	// FrameInterval is the number of ticks between frames (>= 1).
+	FrameInterval bw.Tick
+	// IBits, PBits, BBits are the mean frame sizes.
+	IBits, PBits, BBits bw.Bits
+	// Jitter is the relative standard deviation of frame sizes (e.g. 0.2).
+	Jitter float64
+	// SceneChangeProb is the per-frame probability of a scene change,
+	// which forces an I frame at up to twice the usual size.
+	SceneChangeProb float64
+}
+
+var _ Generator = VBRVideo{}
+
+// gop is the repeating frame-type pattern.
+var gopPattern = []byte("IBBPBBPBBPBB")
+
+// Generate implements Generator.
+func (g VBRVideo) Generate(n bw.Tick) *trace.Trace {
+	src := rng.New(g.Seed)
+	interval := g.FrameInterval
+	if interval < 1 {
+		interval = 1
+	}
+	arrivals := make([]bw.Bits, n)
+	frame := 0
+	for t := bw.Tick(0); t < n; t += interval {
+		var mean bw.Bits
+		switch gopPattern[frame%len(gopPattern)] {
+		case 'I':
+			mean = g.IBits
+		case 'P':
+			mean = g.PBits
+		default:
+			mean = g.BBits
+		}
+		if src.Bool(g.SceneChangeProb) {
+			mean = 2 * g.IBits
+		}
+		size := bw.Bits(src.Norm(float64(mean), g.Jitter*float64(mean)))
+		if size < 0 {
+			size = 0
+		}
+		arrivals[t] = size
+		frame++
+	}
+	return trace.MustNew(arrivals)
+}
+
+// SquareWave alternates between two rates with a fixed period — the
+// adversarial shape behind the no-slack impossibility argument: an online
+// algorithm without slack must follow every level switch, while an offline
+// algorithm with the same constraints keeps a single allocation.
+type SquareWave struct {
+	LowRate, HighRate bw.Rate
+	// HalfPeriod is the number of ticks spent at each level.
+	HalfPeriod bw.Tick
+}
+
+var _ Generator = SquareWave{}
+
+// Generate implements Generator.
+func (g SquareWave) Generate(n bw.Tick) *trace.Trace {
+	arrivals := make([]bw.Bits, n)
+	for t := bw.Tick(0); t < n; t++ {
+		if (t/g.HalfPeriod)%2 == 0 {
+			arrivals[t] = g.LowRate
+		} else {
+			arrivals[t] = g.HighRate
+		}
+	}
+	return trace.MustNew(arrivals)
+}
+
+// DoublingDemand emits traffic whose sustained rate doubles every
+// PhaseLen ticks, from StartRate up to MaxRate, then repeats. It drives
+// the Omega(log B_A) lower-bound experiment: any online algorithm with
+// bounded delay and global utilization must climb through Theta(log B_A)
+// allocation levels per sweep.
+type DoublingDemand struct {
+	StartRate, MaxRate bw.Rate
+	PhaseLen           bw.Tick
+}
+
+var _ Generator = DoublingDemand{}
+
+// Generate implements Generator.
+func (g DoublingDemand) Generate(n bw.Tick) *trace.Trace {
+	arrivals := make([]bw.Bits, n)
+	rate := g.StartRate
+	for t := bw.Tick(0); t < n; t++ {
+		if t > 0 && t%g.PhaseLen == 0 {
+			rate *= 2
+			if rate > g.MaxRate {
+				rate = g.StartRate
+			}
+		}
+		arrivals[t] = rate
+	}
+	return trace.MustNew(arrivals)
+}

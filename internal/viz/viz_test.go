@@ -1,0 +1,69 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestSparklineWidthAndScale(t *testing.T) {
+	vals := []int64{0, 1, 2, 3, 4, 5, 6, 7, 8}
+	got := Sparkline(vals, 20, 0)
+	if n := utf8.RuneCountInString(got); n != len(vals) {
+		t.Errorf("rune count = %d, want %d (shorter than width keeps 1:1)", n, len(vals))
+	}
+	if !strings.HasPrefix(got, "▁") || !strings.HasSuffix(got, "█") {
+		t.Errorf("scale endpoints wrong: %q", got)
+	}
+}
+
+func TestSparklineDownsamplesByMax(t *testing.T) {
+	vals := make([]int64, 100)
+	vals[50] = 99 // a single spike must survive downsampling
+	got := Sparkline(vals, 10, 0)
+	if utf8.RuneCountInString(got) != 10 {
+		t.Fatalf("width = %d", utf8.RuneCountInString(got))
+	}
+	if !strings.Contains(got, "█") {
+		t.Errorf("spike lost in downsampling: %q", got)
+	}
+}
+
+func TestSparklineSharedScale(t *testing.T) {
+	low := Sparkline([]int64{4, 4, 4}, 3, 8)
+	if strings.Contains(low, "█") {
+		t.Errorf("half-scale series rendered at full height: %q", low)
+	}
+}
+
+func TestSparklineEmpty(t *testing.T) {
+	if got := Sparkline(nil, 10, 0); got != "" {
+		t.Errorf("empty series = %q", got)
+	}
+	if got := Sparkline([]int64{1}, 0, 0); got != "" {
+		t.Errorf("zero width = %q", got)
+	}
+}
+
+func TestSparklineAllZero(t *testing.T) {
+	got := Sparkline([]int64{0, 0, 0}, 3, 0)
+	if got != "▁▁▁" {
+		t.Errorf("all-zero = %q", got)
+	}
+}
+
+func TestChartIncludesLabelAndMax(t *testing.T) {
+	got := Chart("demand", []int64{1, 5}, 10, 0)
+	if !strings.Contains(got, "demand") || !strings.Contains(got, "(max 5)") {
+		t.Errorf("chart = %q", got)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max([]int64{1, 9}, []int64{4}); got != 9 {
+		t.Errorf("Max = %d", got)
+	}
+	if got := Max(); got != 0 {
+		t.Errorf("Max() = %d", got)
+	}
+}
