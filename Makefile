@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz experiments examples cover clean
+.PHONY: all build test race bench fuzz load experiments examples cover clean
 
 all: build test
 
@@ -24,6 +24,11 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadMultiCSV -fuzztime=10s ./internal/trace/
 	$(GO) test -fuzz=FuzzReadMessage -fuzztime=10s ./internal/signal/
+	$(GO) test -fuzz=FuzzHandleMessage -fuzztime=10s ./internal/gateway/
+
+# Wall-clock load test of the live path (also: go run ./cmd/bwload -h).
+load:
+	$(GO) run ./cmd/bwload -sessions 256 -duration 2s -policy phased,continuous,combined
 
 # Regenerate every table/figure into results/.
 experiments:

@@ -59,6 +59,12 @@ func BenchmarkWorkloadCharacterization(b *testing.B) { benchExperiment(b, "E18")
 func BenchmarkWindowSweep(b *testing.B)              { benchExperiment(b, "E19") }
 func BenchmarkSlackSweep(b *testing.B)               { benchExperiment(b, "E20") }
 
+// BenchmarkSoakGateway drives the live-path soak (E21): real gateways,
+// real TCP clients, wall-clock ticks. Unlike the experiments above its
+// rows are timing-dependent; the benchmark pins down throughput of the
+// whole serving stack rather than of a simulation.
+func BenchmarkSoakGateway(b *testing.B) { benchExperiment(b, "E21") }
+
 // --- micro-benchmarks of the building blocks ---
 
 // BenchmarkSingleSessionTick measures the per-tick cost of the paper's

@@ -4,8 +4,10 @@
 //
 // Usage:
 //
-//	bwbench                  # run everything, print markdown
+//	bwbench                  # run every deterministic experiment, print markdown
 //	bwbench -run E3,E7       # run a subset
+//	bwbench -run E21         # run the wall-clock gateway soak (non-golden)
+//	bwbench -live            # include wall-clock experiments in the full run
 //	bwbench -list            # list the experiment registry
 //	bwbench -out results/    # also write results/<ID>.md and .csv
 package main
@@ -38,13 +40,20 @@ func run(args []string, out io.Writer) error {
 		outDir   = fs.String("out", "", "directory to write per-experiment .md and .csv files")
 		quiet    = fs.Bool("quiet", false, "suppress table output (timings only)")
 		parallel = fs.Bool("parallel", false, "run experiments concurrently (output stays ordered)")
+		live     = fs.Bool("live", false, "also include the wall-clock experiments (E21); their tables vary run to run")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
 	all := harness.All()
+	if *live {
+		all = append(all, harness.Live()...)
+	}
 	if *list {
+		if !*live {
+			all = append(all, harness.Live()...)
+		}
 		for _, e := range all {
 			fmt.Fprintf(out, "%-5s %-45s reproduces %s\n", e.ID, e.Title, e.Reproduces)
 		}

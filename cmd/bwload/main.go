@@ -1,0 +1,129 @@
+// Command bwload drives a client swarm against a bandwidth gateway over
+// its real TCP wire protocol and reports delivery latency percentiles,
+// renegotiation counts, and aggregate throughput — the measurement rig
+// for the live path (internal/load).
+//
+// It self-hosts a gateway per policy by default, or attaches to a
+// running one with -addr.
+//
+// Usage examples:
+//
+//	bwload -sessions 256 -duration 2s
+//	bwload -sessions 64 -policy phased,continuous,combined -mode closed
+//	bwload -addr 127.0.0.1:9000 -sessions 32 -duration 5s
+//	bwload -sessions 128 -out results            # also write results/bwload.{md,csv}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/load"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bwload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bwload", flag.ContinueOnError)
+	var (
+		sessions = fs.Int("sessions", 64, "concurrent client sessions")
+		policies = fs.String("policy", "phased", "comma-separated allocation policies: phased|continuous|combined (self-hosted mode)")
+		mode     = fs.String("mode", "open", "open (fixed send schedule) | closed (send after delivery)")
+		duration = fs.Duration("duration", time.Second, "per-session sending window")
+		ramp     = fs.Duration("ramp", 0, "spread session starts over this long")
+		tick     = fs.Duration("tick", time.Millisecond, "client send/poll cadence")
+		gwTick   = fs.Duration("gwtick", 500*time.Microsecond, "self-hosted gateway allocation tick")
+		addr     = fs.String("addr", "", "attach to a running gateway instead of self-hosting")
+		bo       = fs.Int64("bo", 0, "self-hosted offline bandwidth B_O (default 16*sessions)")
+		do       = fs.Int64("do", 8, "self-hosted offline delay bound D_O in ticks")
+		seed     = fs.Uint64("seed", 1, "base traffic seed")
+		mean     = fs.Int64("rate", 32, "mean offered bits per client tick")
+		outDir   = fs.String("out", "", "directory to write bwload.md and bwload.csv reports")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	m, err := load.ParseMode(*mode)
+	if err != nil {
+		return err
+	}
+	names := strings.Split(*policies, ",")
+	if *addr != "" && len(names) > 1 {
+		return fmt.Errorf("-addr attaches to one running gateway; use a single -policy label")
+	}
+
+	var md, csv strings.Builder
+	for i, name := range names {
+		name = strings.TrimSpace(name)
+		target := *addr
+		var host *load.Host
+		if target == "" {
+			host, err = load.StartHost(load.HostConfig{
+				Policy: name,
+				Slots:  *sessions,
+				BO:     bw.Rate(*bo),
+				DO:     *do,
+				Tick:   *gwTick,
+			})
+			if err != nil {
+				return err
+			}
+			target = host.Addr()
+			fmt.Fprintf(out, "gateway %s: %d slots, policy %s, tick %v\n", target, *sessions, name, *gwTick)
+		}
+		res, err := load.Run(load.Config{
+			Addr:     target,
+			Sessions: *sessions,
+			Mode:     m,
+			Tick:     *tick,
+			Duration: *duration,
+			Ramp:     *ramp,
+			Seed:     *seed,
+			MeanRate: *mean,
+		})
+		if host != nil {
+			host.Close()
+		}
+		if err != nil {
+			return err
+		}
+		report := res.Markdown(name)
+		fmt.Fprintln(out, report)
+		md.WriteString(report)
+		md.WriteString("\n")
+		csv.WriteString(res.CSV(name, i == 0))
+		if errs := res.Errs(); len(errs) > 0 {
+			return fmt.Errorf("policy %s: %d sessions failed, first: %w", name, len(errs), errs[0])
+		}
+		if !res.Drained() {
+			return fmt.Errorf("policy %s: swarm did not drain (%d of %d bits served)",
+				name, res.BitsServed, res.BitsSent)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+		base := filepath.Join(*outDir, "bwload")
+		if err := os.WriteFile(base+".md", []byte(md.String()), 0o644); err != nil {
+			return fmt.Errorf("write md: %w", err)
+		}
+		if err := os.WriteFile(base+".csv", []byte(csv.String()), 0o644); err != nil {
+			return fmt.Errorf("write csv: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s.md and %s.csv\n", base, base)
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynbw/internal/load"
+)
+
+func TestRunSmallSwarm(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{
+		"-sessions", "4", "-duration", "100ms", "-policy", "phased",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"bwload: phased", "p50", "throughput", "drained"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunMultiPolicyWritesReports(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-sessions", "2", "-duration", "60ms",
+		"-policy", "phased,continuous", "-mode", "closed",
+		"-out", dir,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	md, err := os.ReadFile(filepath.Join(dir, "bwload.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"bwload: phased", "bwload: continuous"} {
+		if !strings.Contains(string(md), want) {
+			t.Errorf("bwload.md missing %q", want)
+		}
+	}
+	csv, err := os.ReadFile(filepath.Join(dir, "bwload.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csv)), "\n")
+	// Header + (2 sessions + 1 aggregate) per policy.
+	if want := 1 + 2*3; len(lines) != want {
+		t.Errorf("bwload.csv has %d lines, want %d:\n%s", len(lines), want, csv)
+	}
+	if !strings.HasPrefix(lines[0], "label,session,") {
+		t.Errorf("csv header = %q", lines[0])
+	}
+}
+
+func TestRunAttachMode(t *testing.T) {
+	host, err := load.StartHost(load.HostConfig{Policy: "phased", Slots: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+	var out strings.Builder
+	err = run([]string{
+		"-addr", host.Addr(), "-sessions", "4", "-duration", "60ms",
+	}, &out)
+	if err != nil {
+		t.Fatalf("attach run: %v\noutput:\n%s", err, out.String())
+	}
+	if strings.Contains(out.String(), "gateway 127.0.0.1") {
+		t.Error("attach mode should not self-host a gateway")
+	}
+}
+
+func TestRunRejectsBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-mode", "sideways"},
+		{"-policy", "tokenring", "-sessions", "2", "-duration", "20ms"},
+		{"-addr", "127.0.0.1:1", "-policy", "a,b"},
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

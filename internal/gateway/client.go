@@ -5,15 +5,22 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sync"
 	"time"
 
 	"dynbw/internal/bw"
 )
 
-// Client is one session's view of the gateway.
+// Client is one session's view of the gateway. It is safe for concurrent
+// use: a mutex serializes every request/reply exchange on the shared
+// connection, so a sender goroutine and a stats-polling goroutine can
+// share one Client (the pattern internal/load relies on).
 type Client struct {
-	conn    net.Conn
-	session uint32
+	mu       sync.Mutex
+	conn     net.Conn
+	session  uint32
+	timeout  time.Duration
+	released bool
 }
 
 // SessionStats is the per-session accounting returned by Client.Stats.
@@ -21,31 +28,66 @@ type SessionStats struct {
 	Served   bw.Bits
 	Queued   bw.Bits
 	MaxDelay bw.Tick
+	// Changes counts this session's bandwidth renegotiations so far —
+	// the paper's cost measure, observable live.
+	Changes int64
 }
 
-// DialSession connects to a gateway and opens a session slot.
+// DialSession connects to a gateway and opens a session slot. The timeout
+// bounds the dial and, when positive, every subsequent request/reply
+// exchange on the client (so a dead gateway cannot hang callers forever).
 func DialSession(addr string, timeout time.Duration) (*Client, error) {
 	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: dial: %w", err)
 	}
-	if _, err := conn.Write([]byte{typeOpen}); err != nil {
+	c := &Client{conn: conn, timeout: timeout}
+	session, err := c.open()
+	if err != nil {
 		conn.Close()
-		return nil, fmt.Errorf("gateway: open: %w", err)
+		return nil, err
 	}
-	var reply [5]byte
-	if _, err := io.ReadFull(conn, reply[:]); err != nil {
-		conn.Close()
-		return nil, fmt.Errorf("gateway: open reply: %w", err)
+	c.session = session
+	return c, nil
+}
+
+// open performs the OPEN/OPENED exchange.
+func (c *Client) open() (uint32, error) {
+	c.armDeadline()
+	defer c.disarmDeadline()
+	if _, err := c.conn.Write([]byte{typeOpen}); err != nil {
+		return 0, fmt.Errorf("gateway: open: %w", err)
 	}
-	if reply[0] != typeOpened {
-		conn.Close()
-		return nil, fmt.Errorf("gateway: unexpected open reply type %d", reply[0])
+	var typ [1]byte
+	if _, err := io.ReadFull(c.conn, typ[:]); err != nil {
+		return 0, fmt.Errorf("gateway: open reply: %w", err)
 	}
-	return &Client{
-		conn:    conn,
-		session: binary.BigEndian.Uint32(reply[1:]),
-	}, nil
+	switch typ[0] {
+	case typeOpened:
+		var body [4]byte
+		if _, err := io.ReadFull(c.conn, body[:]); err != nil {
+			return 0, fmt.Errorf("gateway: open reply: %w", err)
+		}
+		return binary.BigEndian.Uint32(body[:]), nil
+	case typeOpenFail:
+		return 0, ErrSessionLimit
+	default:
+		return 0, fmt.Errorf("gateway: unexpected open reply type %d", typ[0])
+	}
+}
+
+// armDeadline bounds the next conn operation; disarmDeadline clears it.
+// Callers must hold c.mu (or be the only user, as in open).
+func (c *Client) armDeadline() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Now().Add(c.timeout))
+	}
+}
+
+func (c *Client) disarmDeadline() {
+	if c.timeout > 0 {
+		c.conn.SetDeadline(time.Time{})
+	}
 }
 
 // Session returns the assigned session slot.
@@ -56,25 +98,41 @@ func (c *Client) Send(bits bw.Bits) error {
 	if bits < 0 {
 		return fmt.Errorf("gateway: negative send %d", bits)
 	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return fmt.Errorf("gateway: send on released session %d", c.session)
+	}
 	var msg [13]byte
 	msg[0] = typeData
 	binary.BigEndian.PutUint32(msg[1:], c.session)
 	binary.BigEndian.PutUint64(msg[5:], uint64(bits))
+	c.armDeadline()
+	defer c.disarmDeadline()
 	if _, err := c.conn.Write(msg[:]); err != nil {
 		return fmt.Errorf("gateway: send: %w", err)
 	}
 	return nil
 }
 
-// Stats fetches the session's accounting from the gateway.
+// Stats fetches the session's accounting from the gateway. The exchange
+// is bounded by the dial timeout, so a wedged gateway yields an error
+// instead of a hang.
 func (c *Client) Stats() (SessionStats, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return SessionStats{}, fmt.Errorf("gateway: stats on released session %d", c.session)
+	}
 	var req [5]byte
 	req[0] = typeStats
 	binary.BigEndian.PutUint32(req[1:], c.session)
+	c.armDeadline()
+	defer c.disarmDeadline()
 	if _, err := c.conn.Write(req[:]); err != nil {
 		return SessionStats{}, fmt.Errorf("gateway: stats: %w", err)
 	}
-	var reply [25]byte
+	var reply [statsReplyLen]byte
 	if _, err := io.ReadFull(c.conn, reply[:]); err != nil {
 		return SessionStats{}, fmt.Errorf("gateway: stats reply: %w", err)
 	}
@@ -85,8 +143,42 @@ func (c *Client) Stats() (SessionStats, error) {
 		Served:   bw.Bits(binary.BigEndian.Uint64(reply[1:])),
 		Queued:   bw.Bits(binary.BigEndian.Uint64(reply[9:])),
 		MaxDelay: bw.Tick(binary.BigEndian.Uint64(reply[17:])),
+		Changes:  int64(binary.BigEndian.Uint64(reply[25:])),
 	}, nil
 }
 
-// Close releases the session slot.
-func (c *Client) Close() error { return c.conn.Close() }
+// Release returns the session slot to the gateway with an explicit
+// CLOSE/CLOSED exchange. After Release returns nil the slot is guaranteed
+// free on the gateway side — the property that lets thousands of
+// short-lived sessions recycle a small slot pool. Release is idempotent.
+func (c *Client) Release() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return nil
+	}
+	var req [5]byte
+	req[0] = typeClose
+	binary.BigEndian.PutUint32(req[1:], c.session)
+	c.armDeadline()
+	defer c.disarmDeadline()
+	if _, err := c.conn.Write(req[:]); err != nil {
+		return fmt.Errorf("gateway: close: %w", err)
+	}
+	var reply [1]byte
+	if _, err := io.ReadFull(c.conn, reply[:]); err != nil {
+		return fmt.Errorf("gateway: close reply: %w", err)
+	}
+	if reply[0] != typeClosed {
+		return fmt.Errorf("gateway: unexpected close reply type %d", reply[0])
+	}
+	c.released = true
+	return nil
+}
+
+// Close releases the session slot (best effort — a dead gateway only
+// costs the read deadline) and closes the connection.
+func (c *Client) Close() error {
+	c.Release() // ignore error: the conn teardown frees the slot anyway
+	return c.conn.Close()
+}

@@ -1,0 +1,85 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+)
+
+// fuzzSeed assembles a request message for the corpus: the type byte, a
+// uint32 session id as first field, and uint64s for the rest.
+func fuzzSeed(typ byte, fields ...uint64) []byte {
+	var b bytes.Buffer
+	b.WriteByte(typ)
+	for i, f := range fields {
+		if i == 0 {
+			var s [4]byte
+			binary.BigEndian.PutUint32(s[:], uint32(f))
+			b.Write(s[:])
+			continue
+		}
+		var s [8]byte
+		binary.BigEndian.PutUint64(s[:], f)
+		b.Write(s[:])
+	}
+	return b.Bytes()
+}
+
+// FuzzHandleMessage asserts the gateway's wire-facing surface never
+// panics on arbitrary byte streams (mirroring internal/signal's
+// FuzzReadMessage) and that slot accounting stays consistent with the
+// connection's owned session no matter how the stream is mangled.
+func FuzzHandleMessage(f *testing.F) {
+	f.Add(fuzzSeed(typeOpen))
+	f.Add(fuzzSeed(typeData, 0, 64))
+	f.Add(append(fuzzSeed(typeOpen), fuzzSeed(typeData, 0, 64)...))
+	f.Add(append(fuzzSeed(typeOpen), fuzzSeed(typeStats, 0)...))
+	f.Add(append(fuzzSeed(typeOpen), fuzzSeed(typeClose, 0)...))
+	f.Add(fuzzSeed(typeStats, 3))
+	f.Add(fuzzSeed(typeClose, 1<<31))
+	f.Add(fuzzSeed(typeData, 7, 1<<63))
+	f.Add([]byte{0xff, 0x00})
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		const k = 4
+		g := newBare(k)
+		owned := -1
+		r := bytes.NewReader(in)
+		for {
+			if err := g.handleMessage(r, io.Discard, &owned); err != nil {
+				break
+			}
+		}
+		if owned < -1 || owned >= k {
+			t.Fatalf("owned slot %d out of range", owned)
+		}
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		inUse := 0
+		for _, u := range g.used {
+			if u {
+				inUse++
+			}
+		}
+		// One connection can hold at most one slot, and the slot it holds
+		// must be marked used.
+		if inUse > 1 {
+			t.Fatalf("%d slots in use after a single-connection stream", inUse)
+		}
+		if owned >= 0 && !g.used[owned] {
+			t.Fatalf("owned slot %d not marked used", owned)
+		}
+		if owned < 0 && inUse != 0 {
+			t.Fatalf("no owned slot but %d slots in use", inUse)
+		}
+		// DATA must never have landed on a slot the stream did not own:
+		// every pending entry besides the owned one must be zero.
+		for i, p := range g.pending {
+			if p < 0 || (i != owned && p != 0) {
+				t.Fatalf("pending[%d] = %d with owned = %d", i, p, owned)
+			}
+		}
+	})
+}

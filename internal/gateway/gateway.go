@@ -9,9 +9,19 @@
 //
 // Wire protocol (big endian over TCP):
 //
-//	OPEN:   type=1                       -> OPENED: type=2, session uint32
+//	OPEN:   type=1                       -> OPENED:   type=2, session uint32
+//	                                     -> OPENFAIL: type=8 (all slots in use;
+//	                                        the connection stays open for retry)
 //	DATA:   type=3, session uint32, bits int64   (no reply)
-//	STATS:  type=4, session uint32       -> STATSR: type=5, served, queued, maxDelay int64
+//	STATS:  type=4, session uint32       -> STATSR: type=5, served, queued,
+//	                                        maxDelay, changes int64
+//	CLOSE:  type=6, session uint32       -> CLOSED: type=7 (the slot is free
+//	                                        before the reply is written, so a
+//	                                        client that has read CLOSED can
+//	                                        immediately reopen)
+//
+// DATA, STATS and CLOSE must name the session the connection itself
+// opened; anything else is a protocol violation and drops the connection.
 package gateway
 
 import (
@@ -30,23 +40,58 @@ import (
 
 // Message type bytes.
 const (
-	typeOpen   byte = 1
-	typeOpened byte = 2
-	typeData   byte = 3
-	typeStats  byte = 4
-	typeStatsR byte = 5
+	typeOpen     byte = 1
+	typeOpened   byte = 2
+	typeData     byte = 3
+	typeStats    byte = 4
+	typeStatsR   byte = 5
+	typeClose    byte = 6
+	typeClosed   byte = 7
+	typeOpenFail byte = 8
 )
+
+// statsReplyLen is the wire size of a STATSR message (type byte + four
+// big-endian int64 fields).
+const statsReplyLen = 1 + 4*8
+
+// maxAcceptBackoff caps the exponential backoff of the accept loop on
+// persistent Accept errors (e.g. file-descriptor exhaustion under a swarm).
+const maxAcceptBackoff = time.Second
 
 // ErrSessionLimit is returned to callers when every allocator slot is
 // taken.
 var ErrSessionLimit = errors.New("gateway: all session slots in use")
 
+// errProtocol is returned by handleMessage on a malformed or out-of-order
+// message; the handler responds by dropping the connection.
+var errProtocol = errors.New("gateway: protocol violation")
+
+// Config parameterizes a gateway beyond the required listen address,
+// allocator and tick source.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// Slots is the number of session slots k served by the allocator.
+	Slots int
+	// Alloc divides the shared pool among the slots once per tick.
+	Alloc sim.MultiAllocator
+	// Ticks advances the allocator: one allocation round per value.
+	Ticks <-chan time.Time
+	// IdleTimeout, when positive, bounds how long a connection may sit
+	// between messages (and how long a single message may take to arrive
+	// and be answered). Idle or wedged clients are disconnected and their
+	// slot recycled — required to survive swarms of short-lived sessions.
+	// Zero means no deadline (trusted in-process clients).
+	IdleTimeout time.Duration
+}
+
 // Gateway serves k session slots with a multi-session allocator.
 type Gateway struct {
-	ln    net.Listener
-	alloc sim.MultiAllocator
-	k     int
-	ticks <-chan time.Time
+	ln          net.Listener
+	alloc       sim.MultiAllocator
+	k           int
+	ticks       <-chan time.Time
+	idleTimeout time.Duration
 
 	mu      sync.Mutex
 	pending []bw.Bits // arrivals accumulated since the last tick
@@ -62,23 +107,41 @@ type Gateway struct {
 }
 
 // New starts a gateway with k session slots on addr, advancing the
-// allocator once per value received on ticks.
+// allocator once per value received on ticks. It is shorthand for
+// NewWithConfig with no idle timeout.
 func New(addr string, k int, alloc sim.MultiAllocator, ticks <-chan time.Time) (*Gateway, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("gateway: k = %d", k)
+	return NewWithConfig(Config{Addr: addr, Slots: k, Alloc: alloc, Ticks: ticks})
+}
+
+// NewWithConfig starts a gateway from an explicit Config.
+func NewWithConfig(cfg Config) (*Gateway, error) {
+	if cfg.Slots < 1 {
+		return nil, fmt.Errorf("gateway: k = %d", cfg.Slots)
 	}
-	if alloc == nil || ticks == nil {
+	if cfg.Alloc == nil || cfg.Ticks == nil {
 		return nil, fmt.Errorf("gateway: nil allocator or tick source")
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: listen: %w", err)
 	}
+	g := newBare(cfg.Slots)
+	g.ln = ln
+	g.alloc = cfg.Alloc
+	g.ticks = cfg.Ticks
+	g.idleTimeout = cfg.IdleTimeout
+	g.wg.Add(1)
+	go g.acceptLoop()
+	go g.tickLoop()
+	return g, nil
+}
+
+// newBare builds the slot state of a k-slot gateway with no listener and
+// no loops. It backs NewWithConfig and the FuzzHandleMessage harness,
+// which exercises handleMessage without a network.
+func newBare(k int) *Gateway {
 	g := &Gateway{
-		ln:      ln,
-		alloc:   alloc,
 		k:       k,
-		ticks:   ticks,
 		pending: make([]bw.Bits, k),
 		used:    make([]bool, k),
 		queues:  make([]queue.FIFO, k),
@@ -90,10 +153,7 @@ func New(addr string, k int, alloc sim.MultiAllocator, ticks <-chan time.Time) (
 	for i := range g.scheds {
 		g.scheds[i] = &bw.Schedule{}
 	}
-	g.wg.Add(1)
-	go g.acceptLoop()
-	go g.tickLoop()
-	return g, nil
+	return g
 }
 
 // Addr returns the gateway's listen address.
@@ -173,8 +233,13 @@ func (g *Gateway) tickLoop() {
 	}
 }
 
+// acceptLoop accepts client connections, backing off exponentially on
+// persistent Accept errors (up to maxAcceptBackoff) instead of busy
+// spinning — under file-descriptor pressure a tight retry loop would
+// starve the very handlers whose exits free descriptors.
 func (g *Gateway) acceptLoop() {
 	defer g.wg.Done()
+	var backoff time.Duration
 	for {
 		conn, err := g.ln.Accept()
 		if err != nil {
@@ -182,9 +247,20 @@ func (g *Gateway) acceptLoop() {
 			case <-g.closing:
 				return
 			default:
-				continue
 			}
+			if backoff == 0 {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			select {
+			case <-g.closing:
+				return
+			case <-time.After(backoff):
+			}
+			continue
 		}
+		backoff = 0
 		g.mu.Lock()
 		g.conns[conn] = struct{}{}
 		g.mu.Unlock()
@@ -212,6 +288,8 @@ func (g *Gateway) releaseSession(id int) {
 	g.used[id] = false
 }
 
+// handle serves one client connection: a deadline-bounded loop of
+// handleMessage calls.
 func (g *Gateway) handle(conn net.Conn) {
 	defer g.wg.Done()
 	defer conn.Close()
@@ -225,60 +303,107 @@ func (g *Gateway) handle(conn net.Conn) {
 		g.mu.Unlock()
 	}()
 	for {
-		var typ [1]byte
-		if _, err := io.ReadFull(conn, typ[:]); err != nil {
-			return
+		if g.idleTimeout > 0 {
+			// One deadline per message covers both the read of the next
+			// request and the write of its reply.
+			if err := conn.SetDeadline(time.Now().Add(g.idleTimeout)); err != nil {
+				return
+			}
 		}
-		switch typ[0] {
-		case typeOpen:
-			id, err := g.openSession()
-			if err != nil {
-				return // slot exhaustion drops the connection
-			}
-			owned = id
-			var reply [5]byte
-			reply[0] = typeOpened
-			binary.BigEndian.PutUint32(reply[1:], uint32(id))
-			if _, err := conn.Write(reply[:]); err != nil {
-				return
-			}
-		case typeData:
-			var body [12]byte
-			if _, err := io.ReadFull(conn, body[:]); err != nil {
-				return
-			}
-			id := int(binary.BigEndian.Uint32(body[0:]))
-			bits := int64(binary.BigEndian.Uint64(body[4:]))
-			if id < 0 || id >= g.k || bits < 0 {
-				return
-			}
-			g.mu.Lock()
-			g.pending[id] += bits
-			g.mu.Unlock()
-		case typeStats:
-			var body [4]byte
-			if _, err := io.ReadFull(conn, body[:]); err != nil {
-				return
-			}
-			id := int(binary.BigEndian.Uint32(body[:]))
-			if id < 0 || id >= g.k {
-				return
-			}
-			g.mu.Lock()
-			served := g.queues[id].Served()
-			queued := g.queues[id].Bits()
-			maxDelay := g.queues[id].MaxDelay()
-			g.mu.Unlock()
-			var reply [25]byte
-			reply[0] = typeStatsR
-			binary.BigEndian.PutUint64(reply[1:], uint64(served))
-			binary.BigEndian.PutUint64(reply[9:], uint64(queued))
-			binary.BigEndian.PutUint64(reply[17:], uint64(maxDelay))
-			if _, err := conn.Write(reply[:]); err != nil {
-				return
-			}
-		default:
+		if err := g.handleMessage(conn, conn, &owned); err != nil {
 			return
 		}
 	}
+}
+
+// handleMessage reads exactly one message from r, applies it, and writes
+// any reply to w. *owned tracks the slot held by this connection (-1 when
+// none); handleMessage updates it on OPEN and CLOSE. A non-nil error
+// (read failure or protocol violation) means the connection must be
+// dropped. The function is the entire wire-facing surface of the gateway
+// and is fuzzed by FuzzHandleMessage.
+func (g *Gateway) handleMessage(r io.Reader, w io.Writer, owned *int) error {
+	var typ [1]byte
+	if _, err := io.ReadFull(r, typ[:]); err != nil {
+		return err
+	}
+	switch typ[0] {
+	case typeOpen:
+		if *owned >= 0 {
+			return fmt.Errorf("%w: OPEN on a connection that owns session %d", errProtocol, *owned)
+		}
+		id, err := g.openSession()
+		if err != nil {
+			// Slot exhaustion is an expected steady-state condition under
+			// load, not a protocol violation: tell the client and keep the
+			// connection so it can retry after backoff.
+			if _, werr := w.Write([]byte{typeOpenFail}); werr != nil {
+				return werr
+			}
+			return nil
+		}
+		*owned = id
+		var reply [5]byte
+		reply[0] = typeOpened
+		binary.BigEndian.PutUint32(reply[1:], uint32(id))
+		if _, err := w.Write(reply[:]); err != nil {
+			return err
+		}
+	case typeData:
+		var body [12]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return err
+		}
+		id := int(binary.BigEndian.Uint32(body[0:]))
+		bits := int64(binary.BigEndian.Uint64(body[4:]))
+		if id != *owned || bits < 0 {
+			return fmt.Errorf("%w: DATA session=%d bits=%d (own %d)", errProtocol, id, bits, *owned)
+		}
+		g.mu.Lock()
+		g.pending[id] += bits
+		g.mu.Unlock()
+	case typeStats:
+		var body [4]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return err
+		}
+		id := int(binary.BigEndian.Uint32(body[:]))
+		if id != *owned {
+			return fmt.Errorf("%w: STATS session=%d (own %d)", errProtocol, id, *owned)
+		}
+		g.mu.Lock()
+		served := g.queues[id].Served()
+		queued := g.queues[id].Bits()
+		maxDelay := g.queues[id].MaxDelay()
+		changes := g.scheds[id].Changes()
+		g.mu.Unlock()
+		var reply [statsReplyLen]byte
+		reply[0] = typeStatsR
+		binary.BigEndian.PutUint64(reply[1:], uint64(served))
+		binary.BigEndian.PutUint64(reply[9:], uint64(queued))
+		binary.BigEndian.PutUint64(reply[17:], uint64(maxDelay))
+		binary.BigEndian.PutUint64(reply[25:], uint64(changes))
+		if _, err := w.Write(reply[:]); err != nil {
+			return err
+		}
+	case typeClose:
+		var body [4]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return err
+		}
+		id := int(binary.BigEndian.Uint32(body[:]))
+		if id != *owned {
+			return fmt.Errorf("%w: CLOSE session=%d (own %d)", errProtocol, id, *owned)
+		}
+		// Release before replying: a client that has read CLOSED may dial
+		// or OPEN again immediately and must find the slot free.
+		g.releaseSession(id)
+		*owned = -1
+		if _, err := w.Write([]byte{typeClosed}); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: unknown message type %d", errProtocol, typ[0])
+	}
+	return nil
 }

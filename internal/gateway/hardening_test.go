@@ -1,0 +1,261 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+)
+
+func startGatewayWithConfig(t *testing.T, k int, idle time.Duration) (*Gateway, *manualTicks) {
+	t.Helper()
+	p := core.MultiParams{K: k, BO: bw.Rate(16 * k), DO: 4}
+	ticks := newManualTicks()
+	g, err := NewWithConfig(Config{
+		Addr:        "127.0.0.1:0",
+		Slots:       k,
+		Alloc:       core.MustNewPhased(p),
+		Ticks:       ticks.ch,
+		IdleTimeout: idle,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ticks
+}
+
+// TestClientConcurrentUse hammers one Client from many goroutines — the
+// mutex must serialize request/reply pairs on the shared connection.
+// Run with -race.
+func TestClientConcurrentUse(t *testing.T) {
+	g, ticks := startGateway(t, 1)
+	c, err := DialSession(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ticks.tick()
+				// Throttle: an unthrottled tick pump would hold the
+				// gateway mutex almost continuously and starve the
+				// handlers this test is exercising.
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	const workers, ops = 8, 50
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if w%2 == 0 {
+					if err := c.Send(3); err != nil {
+						errs <- err
+						return
+					}
+				} else if _, err := c.Stats(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Sync: a Stats round-trip on the shared conn guarantees every prior
+	// DATA message has been parsed into pending; two ticks then push
+	// pending into the queues so served+queued accounts for everything.
+	if _, err := c.Stats(); err != nil {
+		t.Fatal(err)
+	}
+	ticks.tick()
+	ticks.tick()
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := bw.Bits(3 * ops * workers / 2); st.Served+st.Queued != want {
+		t.Errorf("accounted %d bits, want %d", st.Served+st.Queued, want)
+	}
+	c.Close()
+	g.Close()
+}
+
+// TestReleaseRecyclesSynchronously verifies the CLOSE/CLOSED exchange:
+// once Release returns, the slot is free — no retry loop needed.
+func TestReleaseRecyclesSynchronously(t *testing.T) {
+	g, _ := startGateway(t, 1)
+	defer g.Close()
+	for i := 0; i < 5; i++ {
+		c, err := DialSession(g.Addr(), time.Second)
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		if err := c.Release(); err != nil {
+			t.Fatalf("round %d release: %v", i, err)
+		}
+		if err := c.Release(); err != nil {
+			t.Fatalf("round %d second release not idempotent: %v", i, err)
+		}
+		c.Close()
+	}
+}
+
+// TestOpenFailReportsSessionLimit: slot exhaustion is a typed error and
+// the refused connection survives for a later retry.
+func TestOpenFailReportsSessionLimit(t *testing.T) {
+	g, _ := startGateway(t, 1)
+	defer g.Close()
+	first, err := DialSession(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialSession(g.Addr(), time.Second); !errors.Is(err, ErrSessionLimit) {
+		t.Fatalf("second open: %v, want ErrSessionLimit", err)
+	}
+	if err := first.Release(); err != nil {
+		t.Fatal(err)
+	}
+	second, err := DialSession(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatalf("open after release: %v", err)
+	}
+	second.Close()
+	first.Close()
+}
+
+// TestIdleTimeoutRecyclesWedgedClient: a client that stops talking is
+// disconnected and its slot freed.
+func TestIdleTimeoutRecyclesWedgedClient(t *testing.T) {
+	g, _ := startGatewayWithConfig(t, 1, 50*time.Millisecond)
+	defer g.Close()
+	wedged, err := DialSession(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wedged.Close()
+	// Say nothing until the gateway cuts us off and frees the slot.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		c, err := DialSession(g.Addr(), time.Second)
+		if err == nil {
+			c.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("idle session's slot never recycled")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestStatsReportsLiveChanges: the STATSR changes field tracks the
+// session's schedule renegotiations while the session is running.
+func TestStatsReportsLiveChanges(t *testing.T) {
+	g, ticks := startGateway(t, 1)
+	defer g.Close()
+	c, err := DialSession(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Send(64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stats(); err != nil { // sync the DATA message
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		ticks.tick()
+	}
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Changes == 0 {
+		t.Error("no renegotiations reported after serving a burst")
+	}
+}
+
+// TestProtocolViolationDropsConnection: DATA naming a session the
+// connection does not own must sever it.
+func TestProtocolViolationDropsConnection(t *testing.T) {
+	g, _ := startGateway(t, 2)
+	defer g.Close()
+	conn, err := net.Dial("tcp", g.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var msg [13]byte
+	msg[0] = typeData
+	binary.BigEndian.PutUint32(msg[1:], 1) // not ours: we never opened
+	binary.BigEndian.PutUint64(msg[5:], 64)
+	if _, err := conn.Write(msg[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	var buf [1]byte
+	if _, err := conn.Read(buf[:]); err == nil {
+		t.Fatal("connection survived a protocol violation")
+	}
+}
+
+// TestStatsDeadlineOnDeadGateway: a gateway that accepts but never
+// replies cannot hang Stats past the client timeout.
+func TestStatsDeadlineOnDeadGateway(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			// Answer the OPEN so DialSession succeeds, then go mute.
+			go func(conn net.Conn) {
+				var typ [1]byte
+				if _, err := conn.Read(typ[:]); err != nil {
+					return
+				}
+				var reply [5]byte
+				reply[0] = typeOpened
+				conn.Write(reply[:])
+			}(conn)
+		}
+	}()
+	c, err := DialSession(ln.Addr().String(), 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if _, err := c.Stats(); err == nil {
+		t.Fatal("Stats succeeded against a mute gateway")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("Stats hung %v despite 200ms deadline", elapsed)
+	}
+}

@@ -88,9 +88,10 @@ func All() []Experiment {
 	}
 }
 
-// ByID returns the experiment with the given ID, or false.
+// ByID returns the experiment with the given ID, searching both the
+// deterministic registry (All) and the wall-clock one (Live), or false.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range All() {
+	for _, e := range append(All(), Live()...) {
 		if e.ID == id {
 			return e, true
 		}

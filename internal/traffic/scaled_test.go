@@ -1,0 +1,72 @@
+package traffic
+
+import (
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/trace"
+)
+
+func TestScaledExactFactor(t *testing.T) {
+	g := Scaled{Source: CBR{Rate: 320}, Factor: 0.1}
+	tr := g.Generate(50)
+	for i := bw.Tick(0); i < 50; i++ {
+		if tr.At(i) != 32 {
+			t.Fatalf("tick %d = %d, want 32", i, tr.At(i))
+		}
+	}
+}
+
+func TestScaledIdentity(t *testing.T) {
+	src := OnOff{Seed: 9, PeakRate: 100, MeanOn: 4, MeanOff: 8}
+	raw := src.Generate(256)
+	got := ScaleTrace(raw, 1)
+	for i := bw.Tick(0); i < 256; i++ {
+		if got.At(i) != raw.At(i) {
+			t.Fatalf("factor 1 changed tick %d: %d != %d", i, got.At(i), raw.At(i))
+		}
+	}
+}
+
+func TestScaledCarryPreservesTotal(t *testing.T) {
+	src := ParetoBurst{Seed: 4, Alpha: 1.5, MinBurst: 100, MeanGap: 6, SpreadTicks: 2}
+	raw := src.Generate(1024)
+	for _, factor := range []float64{0.001, 0.37, 0.5, 2.25, 1000} {
+		got := ScaleTrace(raw, factor)
+		want := factor * float64(raw.Total())
+		diff := float64(got.Total()) - want
+		if diff < -1 || diff > 1 {
+			t.Errorf("factor %v: total %d, want %.2f (off by %.2f)",
+				factor, got.Total(), want, diff)
+		}
+		// Error-carrying must also hold on every prefix (shape fidelity).
+		var cum bw.Bits
+		for i := bw.Tick(0); i < 1024; i++ {
+			cum += got.At(i)
+			exact := factor * float64(raw.Window(0, i+1))
+			if d := float64(cum) - exact; d < -1 || d > 1 {
+				t.Fatalf("factor %v: prefix %d drifted %.3f bits", factor, i, d)
+			}
+		}
+	}
+}
+
+func TestScaledZeroFactor(t *testing.T) {
+	tr := Scaled{Source: CBR{Rate: 64}, Factor: 0}.Generate(16)
+	if tr.Total() != 0 {
+		t.Errorf("zero factor produced %d bits", tr.Total())
+	}
+}
+
+func TestScaledRejectsBadFactor(t *testing.T) {
+	for _, f := range []float64{-1, -0.001} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("factor %v did not panic", f)
+				}
+			}()
+			ScaleTrace(trace.MustNew([]bw.Bits{1}), f)
+		}()
+	}
+}
