@@ -1,46 +1,66 @@
 // Command bwgateway runs the paper's IP-provider scenario as a live
 // system: a TCP gateway divides a shared bandwidth pool among client
 // sessions with one of the multi-session algorithms, while synthetic
-// clients stream bursty traffic at it in real time.
+// clients stream bursty traffic at it in real time — or, with
+// -duration 0, it serves external clients (e.g. a bwload swarm) until
+// interrupted.
+//
+// With -admin the gateway exposes a live observability endpoint:
+// Prometheus /metrics (including the allocation-changes counter, the
+// paper's cost measure), /healthz, a /sessions JSON snapshot, the
+// allocation-event ring as JSONL on /events, and net/http/pprof.
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, live
+// sessions get -grace to drain, and the event ring is flushed to
+// stderr as JSONL.
 //
 // Usage examples:
 //
 //	bwgateway -policy phased -k 4 -duration 2s
 //	bwgateway -policy combined -k 8 -tick 2ms -duration 5s
+//	bwgateway -k 64 -duration 0 -admin 127.0.0.1:8080   # serve until ^C
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 	"time"
 
 	"dynbw/internal/bw"
 	"dynbw/internal/core"
 	"dynbw/internal/gateway"
+	"dynbw/internal/obs"
 	"dynbw/internal/rng"
 	"dynbw/internal/sim"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "bwgateway:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("bwgateway", flag.ContinueOnError)
 	var (
 		policy   = fs.String("policy", "phased", "phased|continuous|combined")
+		addr     = fs.String("addr", "127.0.0.1:0", "TCP listen address for the wire protocol")
 		k        = fs.Int("k", 4, "session slots / synthetic clients")
 		bo       = fs.Int64("bo", 0, "offline bandwidth B_O (default 16*k)")
 		do       = fs.Int64("do", 8, "offline delay bound D_O in ticks")
 		tick     = fs.Duration("tick", time.Millisecond, "tick interval")
-		duration = fs.Duration("duration", time.Second, "how long clients stream")
+		duration = fs.Duration("duration", time.Second, "how long clients stream (0: serve external clients until SIGINT/SIGTERM)")
 		seed     = fs.Uint64("seed", 1, "client traffic seed")
+		admin    = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /sessions, /events, /debug/pprof (empty: disabled)")
+		events   = fs.Int("events", obs.DefaultRingSize, "allocation-event ring capacity")
+		grace    = fs.Duration("grace", 2*time.Second, "graceful-shutdown drain window for live sessions")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -53,34 +73,78 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(*events)
+	if o, ok := alloc.(obs.Observable); ok {
+		o.SetObserver(ring)
+	}
 	ticker := time.NewTicker(*tick)
 	defer ticker.Stop()
-	gw, err := gateway.New("127.0.0.1:0", *k, alloc, ticker.C)
+	gw, err := gateway.NewWithConfig(gateway.Config{
+		Addr:     *addr,
+		Slots:    *k,
+		Alloc:    alloc,
+		Ticks:    ticker.C,
+		Observer: ring,
+		Metrics:  reg,
+		Policy:   *policy,
+		Log:      slog.New(slog.NewTextHandler(errw, nil)),
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "gateway %s: %d slots, policy %s, tick %v\n", gw.Addr(), *k, *policy, *tick)
 
-	// Synthetic clients: each streams on/off bursts for the duration.
-	var wg sync.WaitGroup
-	errs := make(chan error, *k)
-	for i := 0; i < *k; i++ {
-		wg.Add(1)
-		go func(id int) {
-			defer wg.Done()
-			errs <- streamClient(gw.Addr(), *seed+uint64(id), *bo/int64(*k), *tick, *duration)
-		}(i)
-	}
-	wg.Wait()
-	close(errs)
-	for err := range errs {
+	if *admin != "" {
+		adm, err := obs.StartAdmin(*admin, &obs.Admin{
+			Registry: reg,
+			Ring:     ring,
+			Sessions: func() any { return gw.Sessions() },
+		})
 		if err != nil {
 			gw.Close()
 			return err
 		}
+		defer adm.Close()
+		fmt.Fprintf(out, "admin http://%s: /metrics /healthz /sessions /events /debug/pprof\n", adm.Addr())
 	}
-	time.Sleep(10 * *tick) // drain
-	stats := gw.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *duration > 0 {
+		// Synthetic clients: each streams on/off bursts for the duration.
+		var wg sync.WaitGroup
+		errs := make(chan error, *k)
+		for i := 0; i < *k; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				errs <- streamClient(ctx, gw.Addr(), *seed+uint64(id), *bo/int64(*k), *tick, *duration)
+			}(i)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			if err != nil {
+				gw.Close()
+				return err
+			}
+		}
+		// Drain unless a signal cut the run short.
+		select {
+		case <-ctx.Done():
+		case <-time.After(10 * *tick):
+		}
+	} else {
+		fmt.Fprintln(out, "serving until SIGINT/SIGTERM")
+		<-ctx.Done()
+	}
+
+	stats := gw.Shutdown(*grace)
+	if err := ring.WriteJSONL(errw); err != nil {
+		return fmt.Errorf("flush event ring: %w", err)
+	}
 
 	fmt.Fprintf(out, "ticks:           %d\n", stats.Ticks)
 	fmt.Fprintf(out, "bits served:     %d (%d still queued)\n", stats.Served, stats.Queued)
@@ -88,11 +152,13 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "peak total bw:   %d\n", stats.MaxTotalRate)
 	fmt.Fprintf(out, "max delay:       %d ticks (2*D_O guarantee: %d, +arrival alignment)\n",
 		stats.MaxDelay, 2**do)
+	fmt.Fprintf(out, "events traced:   %d\n", ring.Total())
 	return nil
 }
 
-// streamClient opens a session and submits bursty traffic.
-func streamClient(addr string, seed uint64, rate int64, tick, duration time.Duration) error {
+// streamClient opens a session and submits bursty traffic until the
+// duration elapses or ctx is canceled.
+func streamClient(ctx context.Context, addr string, seed uint64, rate int64, tick, duration time.Duration) error {
 	c, err := gateway.DialSession(addr, time.Second)
 	if err != nil {
 		return err
@@ -107,7 +173,11 @@ func streamClient(addr string, seed uint64, rate int64, tick, duration time.Dura
 				return err
 			}
 		}
-		time.Sleep(tick)
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(tick):
+		}
 	}
 	return nil
 }

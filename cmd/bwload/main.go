@@ -12,19 +12,23 @@
 //	bwload -sessions 64 -policy phased,continuous,combined -mode closed
 //	bwload -addr 127.0.0.1:9000 -sessions 32 -duration 5s
 //	bwload -sessions 128 -out results            # also write results/bwload.{md,csv}
+//	bwload -sessions 64 -duration 10s -admin 127.0.0.1:8080   # scrape the soak live
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"dynbw/internal/bw"
 	"dynbw/internal/load"
+	"dynbw/internal/obs"
 )
 
 func main() {
@@ -50,6 +54,7 @@ func run(args []string, out io.Writer) error {
 		seed     = fs.Uint64("seed", 1, "base traffic seed")
 		mean     = fs.Int64("rate", 32, "mean offered bits per client tick")
 		outDir   = fs.String("out", "", "directory to write bwload.md and bwload.csv reports")
+		admin    = fs.String("admin", "", "admin HTTP address serving live swarm+gateway metrics during the run (empty: disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -63,6 +68,34 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("-addr attaches to one running gateway; use a single -policy label")
 	}
 
+	// With -admin, one registry and event ring are shared by the swarm
+	// and every self-hosted gateway, so a scrape mid-run sees both sides
+	// of the soak. The /sessions snapshot tracks the current host.
+	var (
+		reg     *obs.Registry
+		ring    *obs.Ring
+		curHost atomic.Pointer[load.Host]
+	)
+	if *admin != "" {
+		reg = obs.NewRegistry()
+		ring = obs.NewRing(0)
+		adm, err := obs.StartAdmin(*admin, &obs.Admin{
+			Registry: reg,
+			Ring:     ring,
+			Sessions: func() any {
+				if h := curHost.Load(); h != nil {
+					return h.GW.Sessions()
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "admin http://%s: /metrics /healthz /sessions /events /debug/pprof\n", adm.Addr())
+	}
+
 	var md, csv strings.Builder
 	for i, name := range names {
 		name = strings.TrimSpace(name)
@@ -70,27 +103,38 @@ func run(args []string, out io.Writer) error {
 		var host *load.Host
 		if target == "" {
 			host, err = load.StartHost(load.HostConfig{
-				Policy: name,
-				Slots:  *sessions,
-				BO:     bw.Rate(*bo),
-				DO:     *do,
-				Tick:   *gwTick,
+				Policy:   name,
+				Slots:    *sessions,
+				BO:       bw.Rate(*bo),
+				DO:       *do,
+				Tick:     *gwTick,
+				Registry: reg,
+				Observer: ring,
+				Log:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
 			})
 			if err != nil {
 				return err
 			}
 			target = host.Addr()
+			curHost.Store(host)
 			fmt.Fprintf(out, "gateway %s: %d slots, policy %s, tick %v\n", target, *sessions, name, *gwTick)
 		}
+		var swarmObs obs.Observer
+		if ring != nil {
+			swarmObs = ring
+		}
 		res, err := load.Run(load.Config{
-			Addr:     target,
-			Sessions: *sessions,
-			Mode:     m,
-			Tick:     *tick,
-			Duration: *duration,
-			Ramp:     *ramp,
-			Seed:     *seed,
-			MeanRate: *mean,
+			Addr:         target,
+			Sessions:     *sessions,
+			Mode:         m,
+			Tick:         *tick,
+			Duration:     *duration,
+			Ramp:         *ramp,
+			Seed:         *seed,
+			MeanRate:     *mean,
+			Registry:     reg,
+			MetricsLabel: name,
+			Observer:     swarmObs,
 		})
 		if host != nil {
 			host.Close()

@@ -1,10 +1,15 @@
 package main
 
 import (
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
+	"time"
 
 	"dynbw/internal/load"
 )
@@ -73,6 +78,109 @@ func TestRunAttachMode(t *testing.T) {
 	}
 	if strings.Contains(out.String(), "gateway 127.0.0.1") {
 		t.Error("attach mode should not self-host a gateway")
+	}
+}
+
+// syncBuf is a strings.Builder safe for concurrent Write and String.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestRunAdminLiveScrape is the acceptance path for the observability
+// layer: while a soak is in flight, /metrics already serves moving
+// swarm and gateway counters and /events serves the renegotiation ring
+// as JSONL.
+func TestRunAdminLiveScrape(t *testing.T) {
+	var out syncBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-sessions", "4", "-duration", "2s", "-policy", "phased",
+			"-admin", "127.0.0.1:0",
+		}, &out)
+	}()
+
+	var adminAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, rest, ok := strings.Cut(out.String(), "admin http://"); ok {
+			adminAddr = strings.Fields(rest)[0]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if adminAddr == "" {
+		t.Fatalf("admin address never printed:\n%s", out.String())
+	}
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + adminAddr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body)
+	}
+
+	// Wait for traffic to start moving, then take two scrapes and check
+	// the live counters advanced between them.
+	counter := func(body, name string) int64 {
+		for _, line := range strings.Split(body, "\n") {
+			if strings.HasPrefix(line, name) {
+				var v int64
+				fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%d", &v)
+				return v
+			}
+		}
+		return -1
+	}
+	var first int64
+	for time.Now().Before(deadline) {
+		first = counter(get("/metrics"), "dynbw_load_bursts_total")
+		if first > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if first <= 0 {
+		t.Fatal("dynbw_load_bursts_total never moved during the soak")
+	}
+	time.Sleep(300 * time.Millisecond)
+	metrics := get("/metrics")
+	second := counter(metrics, "dynbw_load_bursts_total")
+	if second <= first {
+		t.Errorf("bursts counter did not advance mid-run: %d -> %d", first, second)
+	}
+	if counter(metrics, "dynbw_gateway_ticks_total") <= 0 {
+		t.Error("gateway ticks not exported")
+	}
+	if !strings.Contains(metrics, `dynbw_gateway_allocation_changes_total{policy="phased"}`) {
+		t.Error("allocation-changes counter missing policy label")
+	}
+
+	if events := get("/events"); !strings.Contains(events, `"type":"session_open"`) {
+		t.Errorf("/events missing session_open JSONL:\n%.400s", events)
+	}
+
+	if err := <-done; err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynbw/internal/bw"
+	"dynbw/internal/obs"
 	"dynbw/internal/sim"
 )
 
@@ -100,6 +101,7 @@ type Combined struct {
 	// operations per session: tick -> overflow rate to withdraw.
 	reductions []map[bw.Tick]bw.Rate
 
+	o     obs.Observer
 	stats CombinedStats
 }
 
@@ -156,6 +158,10 @@ func MustNewCombined(p CombinedParams) *Combined {
 	}
 	return c
 }
+
+// SetObserver attaches an allocation-event observer (nil disables).
+// Call it before the first Rates call.
+func (c *Combined) SetObserver(o obs.Observer) { c.o = o }
 
 func (c *Combined) startGlobalStage(t bw.Tick) {
 	c.glow = NewLowTracker(c.p.DO)
@@ -223,6 +229,10 @@ func (c *Combined) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 		}
 		c.stats.GlobalResets++
 		c.startGlobalStage(t)
+		if c.o != nil {
+			c.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+				Rule: "global-reset"})
+		}
 	} else if glow > 0 {
 		want := bw.NextPow2(glow)
 		if want > c.p.BA {
@@ -230,9 +240,14 @@ func (c *Combined) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 		}
 		if want > c.bon {
 			// The global estimate grows: a new local stage starts.
+			old := c.bon
 			c.bon = want
 			c.stats.BonChanges++
 			c.startLocalStage(t)
+			if c.o != nil {
+				c.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+					OldRate: old, NewRate: want, Rule: "bon-grow"})
+			}
 		}
 	}
 
@@ -264,13 +279,27 @@ func (c *Combined) innerPhased(t bw.Tick) {
 	if c.bon > 0 && t > c.localResetTick && (t-c.localResetTick)%do == 0 {
 		var totalRegular bw.Rate
 		for i := 0; i < k; i++ {
+			old := c.bir[i] + c.bio[i]
 			if c.qr[i] <= c.bir[i]*do {
 				c.bio[i] = 0
+				if c.o != nil && old > c.bir[i] {
+					c.o.Event(obs.Event{Type: obs.EventRenegotiateDown, Tick: t, Session: i,
+						OldRate: old, NewRate: c.bir[i], Rule: "phase-drain"})
+				}
 			} else {
+				hadOverflow := c.bio[i] > 0
 				c.bir[i] += c.share()
 				c.qo[i] += c.qr[i]
 				c.qr[i] = 0
 				c.bio[i] = bw.CeilDiv(c.qo[i], do)
+				if c.o != nil {
+					c.o.Event(obs.Event{Type: obs.EventRenegotiateUp, Tick: t, Session: i,
+						OldRate: old, NewRate: c.bir[i] + c.bio[i], Rule: "phase-raise"})
+					if !hadOverflow && c.bio[i] > 0 {
+						c.o.Event(obs.Event{Type: obs.EventOverflow, Tick: t, Session: i,
+							NewRate: c.bio[i], Rule: "phase-spill"})
+					}
+				}
 			}
 			totalRegular += c.bir[i]
 		}
@@ -281,6 +310,10 @@ func (c *Combined) innerPhased(t bw.Tick) {
 				c.bio[i] = bw.CeilDiv(c.qo[i], do)
 			}
 			c.startLocalStage(t)
+			if c.o != nil {
+				c.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+					Rule: "local-reset"})
+			}
 		}
 	}
 }
@@ -293,11 +326,16 @@ func (c *Combined) innerContinuous(t bw.Tick, arrived []bw.Bits) {
 	do := c.p.DO
 	for i := 0; i < k; i++ {
 		if amt, ok := c.reductions[i][t]; ok {
+			old := c.bir[i] + c.bio[i]
 			c.bio[i] -= amt
 			if c.bio[i] < 0 {
 				c.bio[i] = 0
 			}
 			delete(c.reductions[i], t)
+			if c.o != nil {
+				c.o.Event(obs.Event{Type: obs.EventRenegotiateDown, Tick: t, Session: i,
+					OldRate: old, NewRate: c.bir[i] + c.bio[i], Rule: "reduce"})
+			}
 		}
 	}
 	grew := false
@@ -307,9 +345,19 @@ func (c *Combined) innerContinuous(t bw.Tick, arrived []bw.Bits) {
 			continue
 		}
 		if c.qr[i] > c.bir[i]*do {
+			old := c.bir[i] + c.bio[i]
+			hadOverflow := c.bio[i] > 0
 			c.bir[i] += c.share()
 			c.spillContinuous(i, t)
 			grew = true
+			if c.o != nil {
+				c.o.Event(obs.Event{Type: obs.EventRenegotiateUp, Tick: t, Session: i,
+					OldRate: old, NewRate: c.bir[i] + c.bio[i], Rule: "test-spill"})
+				if !hadOverflow && c.bio[i] > 0 {
+					c.o.Event(obs.Event{Type: obs.EventOverflow, Tick: t, Session: i,
+						NewRate: c.bio[i], Rule: "test-spill"})
+				}
+			}
 		}
 	}
 	if grew {
@@ -322,6 +370,10 @@ func (c *Combined) innerContinuous(t bw.Tick, arrived []bw.Bits) {
 				c.spillContinuous(i, t)
 			}
 			c.startLocalStage(t)
+			if c.o != nil {
+				c.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+					Rule: "local-reset"})
+			}
 		}
 	}
 }

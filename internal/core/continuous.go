@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynbw/internal/bw"
+	"dynbw/internal/obs"
 	"dynbw/internal/sim"
 )
 
@@ -34,6 +35,7 @@ type Continuous struct {
 	// (tick, amount) pairs: at `tick`, bio[i] -= amount.
 	reductions []map[bw.Tick]bw.Rate
 
+	o     obs.Observer
 	stats MultiStats
 }
 
@@ -69,6 +71,10 @@ func MustNewContinuous(p MultiParams) *Continuous {
 	return a
 }
 
+// SetObserver attaches an allocation-event observer (nil disables).
+// Call it before the first Rates call.
+func (a *Continuous) SetObserver(o obs.Observer) { a.o = o }
+
 func (a *Continuous) reset() {
 	share := a.p.Share()
 	for i := range a.bir {
@@ -99,11 +105,16 @@ func (a *Continuous) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 	// Apply matured REDUCE operations first.
 	for i := 0; i < k; i++ {
 		if amt, ok := a.reductions[i][t]; ok {
+			old := a.bir[i] + a.bio[i]
 			a.bio[i] -= amt
 			if a.bio[i] < 0 {
 				a.bio[i] = 0
 			}
 			delete(a.reductions[i], t)
+			if a.o != nil {
+				a.o.Event(obs.Event{Type: obs.EventRenegotiateDown, Tick: t, Session: i,
+					OldRate: old, NewRate: a.bir[i] + a.bio[i], Rule: "reduce"})
+			}
 		}
 	}
 
@@ -115,9 +126,19 @@ func (a *Continuous) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 		}
 		a.qr[i] += arrived[i]
 		if a.qr[i] > a.bir[i]*do {
+			old := a.bir[i] + a.bio[i]
+			hadOverflow := a.bio[i] > 0
 			a.bir[i] += a.p.Share()
 			a.spill(i, t)
 			grew = true
+			if a.o != nil {
+				a.o.Event(obs.Event{Type: obs.EventRenegotiateUp, Tick: t, Session: i,
+					OldRate: old, NewRate: a.bir[i] + a.bio[i], Rule: "test-spill"})
+				if !hadOverflow && a.bio[i] > 0 {
+					a.o.Event(obs.Event{Type: obs.EventOverflow, Tick: t, Session: i,
+						NewRate: a.bio[i], Rule: "test-spill"})
+				}
+			}
 		}
 	}
 	if grew {
@@ -131,6 +152,10 @@ func (a *Continuous) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 			}
 			a.stats.Resets++
 			a.reset()
+			if a.o != nil {
+				a.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+					Rule: "stage-reset"})
+			}
 		}
 	}
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynbw/internal/bw"
+	"dynbw/internal/obs"
 	"dynbw/internal/sim"
 )
 
@@ -37,6 +38,7 @@ type Phased struct {
 	qo        []bw.Bits // virtual overflow queues
 	rates     []bw.Rate
 
+	o     obs.Observer
 	stats MultiStats
 }
 
@@ -81,6 +83,11 @@ func MustNewPhased(p MultiParams) *Phased {
 	return a
 }
 
+// SetObserver attaches an allocation-event observer (nil disables).
+// Call it before the first Rates call; the policy is not otherwise safe
+// for concurrent mutation.
+func (a *Phased) SetObserver(o obs.Observer) { a.o = o }
+
 // reset starts a new stage at tick t: every session gets the base regular
 // share and phases restart.
 func (a *Phased) reset(t bw.Tick) {
@@ -103,6 +110,7 @@ func (a *Phased) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 	if t > a.resetTick && (t-a.resetTick)%do == 0 {
 		var totalRegular bw.Rate
 		for i := 0; i < k; i++ {
+			old := a.bir[i] + a.bio[i]
 			if a.qr[i] <= a.bir[i]*do {
 				// The regular channel can drain this queue in one phase;
 				// the analysis (Claim 8) says the overflow queue is empty.
@@ -110,11 +118,24 @@ func (a *Phased) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 					a.stats.OverflowViolations++
 				}
 				a.bio[i] = 0
+				if a.o != nil && old > a.bir[i] {
+					a.o.Event(obs.Event{Type: obs.EventRenegotiateDown, Tick: t, Session: i,
+						OldRate: old, NewRate: a.bir[i], Rule: "phase-drain"})
+				}
 			} else {
+				hadOverflow := a.bio[i] > 0
 				a.bir[i] += a.p.Share()
 				a.qo[i] += a.qr[i]
 				a.qr[i] = 0
 				a.bio[i] = bw.CeilDiv(a.qo[i], do)
+				if a.o != nil {
+					a.o.Event(obs.Event{Type: obs.EventRenegotiateUp, Tick: t, Session: i,
+						OldRate: old, NewRate: a.bir[i] + a.bio[i], Rule: "phase-raise"})
+					if !hadOverflow && a.bio[i] > 0 {
+						a.o.Event(obs.Event{Type: obs.EventOverflow, Tick: t, Session: i,
+							NewRate: a.bio[i], Rule: "phase-spill"})
+					}
+				}
 			}
 			totalRegular += a.bir[i]
 		}
@@ -127,6 +148,10 @@ func (a *Phased) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 			}
 			a.stats.Resets++
 			a.reset(t)
+			if a.o != nil {
+				a.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+					Rule: "stage-reset"})
+			}
 		}
 	}
 

@@ -29,11 +29,13 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"time"
 
 	"dynbw/internal/bw"
+	"dynbw/internal/obs"
 	"dynbw/internal/queue"
 	"dynbw/internal/sim"
 )
@@ -83,6 +85,20 @@ type Config struct {
 	// slot recycled — required to survive swarms of short-lived sessions.
 	// Zero means no deadline (trusted in-process clients).
 	IdleTimeout time.Duration
+	// Observer receives session lifecycle and idle-disconnect events
+	// (nil disables). Policy-level renegotiation events are emitted by
+	// the allocator itself (obs.Observable).
+	Observer obs.Observer
+	// Metrics, when non-nil, registers the gateway's counters, gauges
+	// and the per-exchange latency histogram.
+	Metrics *obs.Registry
+	// Policy labels the allocation-changes counter series (default
+	// "unknown").
+	Policy string
+	// Log, when non-nil, receives rate-limited diagnostics for accept
+	// failures, protocol violations and handler I/O errors — the paths
+	// that were previously swallowed silently.
+	Log *slog.Logger
 }
 
 // Gateway serves k session slots with a multi-session allocator.
@@ -93,17 +109,94 @@ type Gateway struct {
 	ticks       <-chan time.Time
 	idleTimeout time.Duration
 
-	mu      sync.Mutex
-	pending []bw.Bits // arrivals accumulated since the last tick
-	used    []bool    // slot taken by an open session
-	queues  []queue.FIFO
-	scheds  []*bw.Schedule
-	now     bw.Tick
-	conns   map[net.Conn]struct{}
+	o   obs.Observer
+	m   *gwMetrics
+	log *obs.RateLimited
 
-	wg      sync.WaitGroup
-	closing chan struct{}
-	done    chan struct{}
+	mu        sync.Mutex
+	pending   []bw.Bits // arrivals accumulated since the last tick
+	used      []bool    // slot taken by an open session
+	queues    []queue.FIFO
+	scheds    []*bw.Schedule
+	lastRates []bw.Rate // rates applied on the most recent tick
+	now       bw.Tick
+	conns     map[net.Conn]struct{}
+
+	wg         sync.WaitGroup
+	acceptStop chan struct{} // closed when the listener stops accepting
+	closing    chan struct{} // closed when the tick loop must exit
+	done       chan struct{}
+	closeOnce  sync.Once
+}
+
+// gwMetrics holds the gateway's registered instruments. With no
+// registry attached every field is nil, and the nil-safe instrument
+// methods make each hot-path update a no-op.
+type gwMetrics struct {
+	accepts      *obs.Counter
+	acceptErrors *obs.Counter
+	messages     map[byte]*obs.Counter
+	errors       map[string]*obs.Counter
+	openFails    *obs.Counter
+	sessions     *obs.Gauge
+	conns        *obs.Gauge
+	ticks        *obs.Counter
+	arrivedBits  *obs.Counter
+	servedBits   *obs.Counter
+	allocChanges *obs.Counter
+	exchange     *obs.LiveHistogram
+}
+
+// Error classes for the gateway_errors_total counter: how a connection
+// handler ended other than by a clean CLOSE.
+const (
+	errClassEOF      = "eof"      // client hung up without CLOSE
+	errClassTimeout  = "timeout"  // idle/wedged client hit IdleTimeout
+	errClassProtocol = "protocol" // malformed or out-of-order message
+	errClassIO       = "io"       // any other read/write failure
+)
+
+func newGWMetrics(reg *obs.Registry, policy string) *gwMetrics {
+	m := &gwMetrics{}
+	if reg == nil {
+		return m
+	}
+	if policy == "" {
+		policy = "unknown"
+	}
+	m.accepts = reg.Counter("dynbw_gateway_accepts_total", "Connections accepted.")
+	m.acceptErrors = reg.Counter("dynbw_gateway_accept_errors_total", "Accept failures (each backs off the accept loop).")
+	m.messages = map[byte]*obs.Counter{
+		typeOpen:  reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "open")),
+		typeData:  reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "data")),
+		typeStats: reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "stats")),
+		typeClose: reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "close")),
+		0:         reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "unknown")),
+	}
+	m.errors = map[string]*obs.Counter{}
+	for _, class := range []string{errClassEOF, errClassTimeout, errClassProtocol, errClassIO} {
+		m.errors[class] = reg.Counter("dynbw_gateway_errors_total", "Connection handler terminations, by class.", obs.L("class", class))
+	}
+	m.openFails = reg.Counter("dynbw_gateway_open_fails_total", "OPEN requests rejected with OPENFAIL (slot exhaustion).")
+	m.sessions = reg.Gauge("dynbw_gateway_active_sessions", "Session slots currently open.")
+	m.conns = reg.Gauge("dynbw_gateway_active_conns", "TCP connections currently served.")
+	m.ticks = reg.Counter("dynbw_gateway_ticks_total", "Allocation rounds run.")
+	m.arrivedBits = reg.Counter("dynbw_gateway_arrived_bits_total", "Bits accepted into session queues.")
+	m.servedBits = reg.Counter("dynbw_gateway_served_bits_total", "Bits served out of session queues.")
+	m.allocChanges = reg.Counter("dynbw_gateway_allocation_changes_total",
+		"Per-session bandwidth allocation changes — the paper's cost measure, live.", obs.L("policy", policy))
+	m.exchange = reg.Histogram("dynbw_gateway_exchange_latency_ns",
+		"Per-message handling latency (first byte read to reply written), nanoseconds.")
+	return m
+}
+
+// message returns the counter for a wire message type (the zero key is
+// the "unknown" series).
+func (m *gwMetrics) message(t byte) *obs.Counter {
+	if c, ok := m.messages[t]; ok {
+		return c
+	}
+	return m.messages[0]
 }
 
 // New starts a gateway with k session slots on addr, advancing the
@@ -130,6 +223,9 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 	g.alloc = cfg.Alloc
 	g.ticks = cfg.Ticks
 	g.idleTimeout = cfg.IdleTimeout
+	g.o = cfg.Observer
+	g.m = newGWMetrics(cfg.Metrics, cfg.Policy)
+	g.log = obs.NewRateLimited(cfg.Log, time.Second)
 	g.wg.Add(1)
 	go g.acceptLoop()
 	go g.tickLoop()
@@ -141,14 +237,17 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 // which exercises handleMessage without a network.
 func newBare(k int) *Gateway {
 	g := &Gateway{
-		k:       k,
-		pending: make([]bw.Bits, k),
-		used:    make([]bool, k),
-		queues:  make([]queue.FIFO, k),
-		scheds:  make([]*bw.Schedule, k),
-		closing: make(chan struct{}),
-		done:    make(chan struct{}),
-		conns:   make(map[net.Conn]struct{}),
+		k:          k,
+		pending:    make([]bw.Bits, k),
+		used:       make([]bool, k),
+		queues:     make([]queue.FIFO, k),
+		scheds:     make([]*bw.Schedule, k),
+		lastRates:  make([]bw.Rate, k),
+		acceptStop: make(chan struct{}),
+		closing:    make(chan struct{}),
+		done:       make(chan struct{}),
+		conns:      make(map[net.Conn]struct{}),
+		m:          &gwMetrics{},
 	}
 	for i := range g.scheds {
 		g.scheds[i] = &bw.Schedule{}
@@ -169,19 +268,42 @@ type Stats struct {
 	MaxDelay       bw.Tick
 }
 
-// Close stops serving, waits for the loops and handlers, and returns the
-// final accounting.
-func (g *Gateway) Close() Stats {
-	close(g.closing)
-	g.ln.Close()
-	// Unblock handlers parked in reads on live client connections.
-	g.mu.Lock()
-	for c := range g.conns {
-		c.Close()
-	}
-	g.mu.Unlock()
-	g.wg.Wait()
-	<-g.done
+// Close stops serving immediately — Shutdown with no grace period.
+func (g *Gateway) Close() Stats { return g.Shutdown(0) }
+
+// Shutdown stops accepting new connections, keeps allocating and
+// serving live sessions for up to grace (so in-flight exchanges finish
+// and well-behaved clients CLOSE cleanly), then deadline-closes
+// whatever remains, waits for the loops and handlers, and returns the
+// final accounting. It is idempotent; repeated calls return the same
+// snapshot.
+func (g *Gateway) Shutdown(grace time.Duration) Stats {
+	g.closeOnce.Do(func() {
+		close(g.acceptStop)
+		g.ln.Close()
+		if grace > 0 {
+			// The tick loop keeps serving during the grace window; wait
+			// for handlers to drain on their own before forcing.
+			handlersDone := make(chan struct{})
+			go func() {
+				g.wg.Wait()
+				close(handlersDone)
+			}()
+			select {
+			case <-handlersDone:
+			case <-time.After(grace):
+			}
+		}
+		close(g.closing)
+		// Unblock handlers parked in reads on live client connections.
+		g.mu.Lock()
+		for c := range g.conns {
+			c.Close()
+		}
+		g.mu.Unlock()
+		g.wg.Wait()
+		<-g.done
+	})
 
 	g.mu.Lock()
 	defer g.mu.Unlock()
@@ -200,6 +322,44 @@ func (g *Gateway) Close() Stats {
 	return st
 }
 
+// SessionInfo is one slot's live state, served as JSON by the admin
+// /sessions endpoint.
+type SessionInfo struct {
+	Slot     int     `json:"slot"`
+	Open     bool    `json:"open"`
+	Rate     bw.Rate `json:"rate"`
+	Queued   bw.Bits `json:"queued"`
+	Served   bw.Bits `json:"served"`
+	Changes  int     `json:"changes"`
+	MaxDelay bw.Tick `json:"max_delay_ticks"`
+}
+
+// Sessions returns a point-in-time snapshot of every slot.
+func (g *Gateway) Sessions() []SessionInfo {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]SessionInfo, g.k)
+	for i := 0; i < g.k; i++ {
+		out[i] = SessionInfo{
+			Slot:     i,
+			Open:     g.used[i],
+			Rate:     g.lastRates[i],
+			Queued:   g.queues[i].Bits(),
+			Served:   g.queues[i].Served(),
+			Changes:  g.scheds[i].Changes(),
+			MaxDelay: g.queues[i].MaxDelay(),
+		}
+	}
+	return out
+}
+
+// emit forwards an event to the observer, if any.
+func (g *Gateway) emit(e obs.Event) {
+	if g.o != nil {
+		g.o.Event(e)
+	}
+}
+
 // tickLoop owns the allocator and the queues.
 func (g *Gateway) tickLoop() {
 	defer close(g.done)
@@ -210,6 +370,8 @@ func (g *Gateway) tickLoop() {
 		case <-g.closing:
 			return
 		case <-g.ticks:
+			var arrivedBits, servedBits bw.Bits
+			var changes int64
 			g.mu.Lock()
 			t := g.now
 			for i := 0; i < g.k; i++ {
@@ -217,6 +379,7 @@ func (g *Gateway) tickLoop() {
 				g.pending[i] = 0
 				g.queues[i].Push(t, arrived[i])
 				queued[i] = g.queues[i].Bits()
+				arrivedBits += arrived[i]
 			}
 			rates := g.alloc.Rates(t, arrived, queued)
 			for i := 0; i < g.k && i < len(rates); i++ {
@@ -225,10 +388,18 @@ func (g *Gateway) tickLoop() {
 					r = 0
 				}
 				g.scheds[i].Set(t, r)
-				g.queues[i].Serve(t, r)
+				servedBits += g.queues[i].Serve(t, r)
+				if r != g.lastRates[i] {
+					changes++
+					g.lastRates[i] = r
+				}
 			}
 			g.now++
 			g.mu.Unlock()
+			g.m.ticks.Inc()
+			g.m.arrivedBits.Add(int64(arrivedBits))
+			g.m.servedBits.Add(int64(servedBits))
+			g.m.allocChanges.Add(changes)
 		}
 	}
 }
@@ -244,23 +415,27 @@ func (g *Gateway) acceptLoop() {
 		conn, err := g.ln.Accept()
 		if err != nil {
 			select {
-			case <-g.closing:
+			case <-g.acceptStop:
 				return
 			default:
 			}
+			g.m.acceptErrors.Inc()
+			g.log.Log(slog.LevelWarn, "accept", "gateway: accept failed", "err", err, "backoff", backoff)
 			if backoff == 0 {
 				backoff = time.Millisecond
 			} else if backoff *= 2; backoff > maxAcceptBackoff {
 				backoff = maxAcceptBackoff
 			}
 			select {
-			case <-g.closing:
+			case <-g.acceptStop:
 				return
 			case <-time.After(backoff):
 			}
 			continue
 		}
 		backoff = 0
+		g.m.accepts.Inc()
+		g.m.conns.Add(1)
 		g.mu.Lock()
 		g.conns[conn] = struct{}{}
 		g.mu.Unlock()
@@ -272,20 +447,23 @@ func (g *Gateway) acceptLoop() {
 // openSession claims a free slot.
 func (g *Gateway) openSession() (int, error) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	for i := 0; i < g.k; i++ {
 		if !g.used[i] {
 			g.used[i] = true
+			g.mu.Unlock()
+			g.m.sessions.Add(1)
 			return i, nil
 		}
 	}
+	g.mu.Unlock()
 	return 0, ErrSessionLimit
 }
 
 func (g *Gateway) releaseSession(id int) {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	g.used[id] = false
+	g.mu.Unlock()
+	g.m.sessions.Add(-1)
 }
 
 // handle serves one client connection: a deadline-bounded loop of
@@ -301,6 +479,7 @@ func (g *Gateway) handle(conn net.Conn) {
 		g.mu.Lock()
 		delete(g.conns, conn)
 		g.mu.Unlock()
+		g.m.conns.Add(-1)
 	}()
 	for {
 		if g.idleTimeout > 0 {
@@ -311,8 +490,34 @@ func (g *Gateway) handle(conn net.Conn) {
 			}
 		}
 		if err := g.handleMessage(conn, conn, &owned); err != nil {
+			g.observeDisconnect(conn, err, owned)
 			return
 		}
+	}
+}
+
+// observeDisconnect classifies why a connection handler is exiting and
+// routes it through the error counters, the rate-limited log, and (for
+// idle disconnects) the event ring. A bare EOF is a client hanging up
+// without CLOSE — counted, but not log-worthy.
+func (g *Gateway) observeDisconnect(conn net.Conn, err error, owned int) {
+	var nerr net.Error
+	switch {
+	case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+		g.m.errors[errClassEOF].Inc()
+	case errors.As(err, &nerr) && nerr.Timeout():
+		g.m.errors[errClassTimeout].Inc()
+		g.emit(obs.Event{Type: obs.EventIdleDisconnect, Session: owned})
+		g.log.Log(slog.LevelWarn, "idle", "gateway: disconnecting idle client",
+			"remote", conn.RemoteAddr().String(), "session", owned)
+	case errors.Is(err, errProtocol):
+		g.m.errors[errClassProtocol].Inc()
+		g.log.Log(slog.LevelWarn, "protocol", "gateway: protocol violation",
+			"remote", conn.RemoteAddr().String(), "session", owned, "err", err)
+	default:
+		g.m.errors[errClassIO].Inc()
+		g.log.Log(slog.LevelWarn, "io", "gateway: connection error",
+			"remote", conn.RemoteAddr().String(), "session", owned, "err", err)
 	}
 }
 
@@ -327,6 +532,11 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, owned *int) error {
 	if _, err := io.ReadFull(r, typ[:]); err != nil {
 		return err
 	}
+	g.m.message(typ[0]).Inc()
+	if g.m.exchange != nil {
+		start := time.Now()
+		defer func() { g.m.exchange.Observe(int64(time.Since(start))) }()
+	}
 	switch typ[0] {
 	case typeOpen:
 		if *owned >= 0 {
@@ -337,12 +547,15 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, owned *int) error {
 			// Slot exhaustion is an expected steady-state condition under
 			// load, not a protocol violation: tell the client and keep the
 			// connection so it can retry after backoff.
+			g.m.openFails.Inc()
+			g.emit(obs.Event{Type: obs.EventOpenFail, Session: -1})
 			if _, werr := w.Write([]byte{typeOpenFail}); werr != nil {
 				return werr
 			}
 			return nil
 		}
 		*owned = id
+		g.emit(obs.Event{Type: obs.EventSessionOpen, Session: id})
 		var reply [5]byte
 		reply[0] = typeOpened
 		binary.BigEndian.PutUint32(reply[1:], uint32(id))
@@ -399,6 +612,7 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, owned *int) error {
 		// or OPEN again immediately and must find the slot free.
 		g.releaseSession(id)
 		*owned = -1
+		g.emit(obs.Event{Type: obs.EventSessionClose, Session: id})
 		if _, err := w.Write([]byte{typeClosed}); err != nil {
 			return err
 		}

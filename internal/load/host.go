@@ -2,12 +2,14 @@ package load
 
 import (
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
 	"dynbw/internal/bw"
 	"dynbw/internal/core"
 	"dynbw/internal/gateway"
+	"dynbw/internal/obs"
 	"dynbw/internal/sim"
 )
 
@@ -42,6 +44,13 @@ type HostConfig struct {
 	Tick time.Duration
 	// IdleTimeout disconnects wedged clients (default 30s; <0 disables).
 	IdleTimeout time.Duration
+	// Registry, when non-nil, receives the gateway's live metrics
+	// (labeled with Policy); Observer receives allocation events from
+	// both the policy and the gateway.
+	Registry *obs.Registry
+	Observer obs.Observer
+	// Log receives the gateway's rate-limited error diagnostics.
+	Log *slog.Logger
 }
 
 // Host is a self-hosted gateway plus its tick source — the "no external
@@ -81,6 +90,9 @@ func StartHost(cfg HostConfig) (*Host, error) {
 	if err != nil {
 		return nil, err
 	}
+	if o, ok := alloc.(obs.Observable); ok && cfg.Observer != nil {
+		o.SetObserver(cfg.Observer)
+	}
 	ticker := time.NewTicker(cfg.Tick)
 	gw, err := gateway.NewWithConfig(gateway.Config{
 		Addr:        "127.0.0.1:0",
@@ -88,6 +100,10 @@ func StartHost(cfg HostConfig) (*Host, error) {
 		Alloc:       alloc,
 		Ticks:       ticker.C,
 		IdleTimeout: cfg.IdleTimeout,
+		Observer:    cfg.Observer,
+		Metrics:     cfg.Registry,
+		Policy:      cfg.Policy,
+		Log:         cfg.Log,
 	})
 	if err != nil {
 		ticker.Stop()

@@ -22,6 +22,7 @@ import (
 
 	"dynbw/internal/bw"
 	"dynbw/internal/metrics"
+	"dynbw/internal/obs"
 	"dynbw/internal/traffic"
 )
 
@@ -96,6 +97,77 @@ type Config struct {
 	// DrainTimeout bounds how long a session waits after its sending
 	// window for the gateway to serve everything it sent (default 5s).
 	DrainTimeout time.Duration
+	// Registry, when non-nil, receives the swarm's live metrics
+	// (bursts, bits, active sessions, delivery/RTT histograms) so an
+	// in-flight soak can be scraped from an admin endpoint.
+	Registry *obs.Registry
+	// MetricsLabel is the policy label on the exported series (default
+	// "swarm").
+	MetricsLabel string
+	// Observer, when non-nil, receives client-side session lifecycle
+	// events (open, close, open-fail retries).
+	Observer obs.Observer
+
+	// swarm is the shared live-export state, built by Run.
+	swarm *swarmObs
+}
+
+// swarmObs aggregates live swarm telemetry across sessions. All fields
+// are concurrency-safe; a nil *swarmObs (no registry, no observer)
+// disables export entirely.
+type swarmObs struct {
+	o         obs.Observer
+	active    *obs.Gauge
+	bursts    *obs.Counter
+	delivered *obs.Counter
+	bitsSent  *obs.Counter
+	errors    *obs.Counter
+	openFails *obs.Counter
+	delivery  *obs.LiveHistogram
+	rtt       *obs.LiveHistogram
+}
+
+func newSwarmObs(reg *obs.Registry, label string, o obs.Observer) *swarmObs {
+	if reg == nil && o == nil {
+		return nil
+	}
+	if label == "" {
+		label = "swarm"
+	}
+	l := obs.L("policy", label)
+	return &swarmObs{
+		o:         o,
+		active:    reg.Gauge("dynbw_load_sessions_active", "Swarm sessions currently running.", l),
+		bursts:    reg.Counter("dynbw_load_bursts_total", "Bursts sent by the swarm.", l),
+		delivered: reg.Counter("dynbw_load_delivered_total", "Bursts observed fully served.", l),
+		bitsSent:  reg.Counter("dynbw_load_bits_sent_total", "Bits offered by the swarm.", l),
+		errors:    reg.Counter("dynbw_load_session_errors_total", "Sessions that ended with a fatal error.", l),
+		openFails: reg.Counter("dynbw_load_open_fails_total", "OPENFAIL retries observed while dialing.", l),
+		delivery:  reg.Histogram("dynbw_load_delivery_ns", "End-to-end burst delivery latency, nanoseconds.", l),
+		rtt:       reg.Histogram("dynbw_load_rtt_ns", "STATS request/reply round-trip time, nanoseconds.", l),
+	}
+}
+
+// emit forwards an event to the swarm observer, if any.
+func (s *swarmObs) emit(e obs.Event) {
+	if s != nil && s.o != nil {
+		s.o.Event(e)
+	}
+}
+
+// openFailInc bumps the OPENFAIL-retry counter (nil-safe).
+func (s *swarmObs) openFailInc() {
+	if s != nil {
+		s.openFails.Inc()
+	}
+}
+
+// sent records one burst leaving a session (nil-safe).
+func (s *swarmObs) sent(bits bw.Bits) {
+	if s != nil {
+		s.bursts.Inc()
+		s.bitsSent.Add(int64(bits))
+	}
 }
 
 func (c Config) withDefaults() Config {
@@ -232,6 +304,7 @@ func Run(cfg Config) (*Result, error) {
 	if cfg.Addr == "" {
 		return nil, fmt.Errorf("load: empty gateway address")
 	}
+	cfg.swarm = newSwarmObs(cfg.Registry, cfg.MetricsLabel, cfg.Observer)
 
 	perSession := make([]SessionResult, cfg.Sessions)
 	start := time.Now()

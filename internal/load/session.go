@@ -10,6 +10,7 @@ import (
 
 	"dynbw/internal/bw"
 	"dynbw/internal/gateway"
+	"dynbw/internal/obs"
 	"dynbw/internal/trace"
 )
 
@@ -26,6 +27,16 @@ type pendingBurst struct {
 // ramp delay, dial (with retry), traffic, drain, explicit release.
 func runSession(cfg Config, id int, res *SessionResult) {
 	res.ID = id
+	s := cfg.swarm
+	if s != nil {
+		s.active.Add(1)
+		defer s.active.Add(-1)
+		defer func() {
+			if res.Err != nil {
+				s.errors.Inc()
+			}
+		}()
+	}
 	if cfg.Ramp > 0 && cfg.Sessions > 1 {
 		time.Sleep(cfg.Ramp * time.Duration(id) / time.Duration(cfg.Sessions))
 	}
@@ -37,6 +48,7 @@ func runSession(cfg Config, id int, res *SessionResult) {
 	}
 	defer c.Close()
 	res.Slot = c.Session()
+	s.emit(obs.Event{Type: obs.EventSessionOpen, Session: int(c.Session()), Rule: "swarm"})
 
 	// Baseline: a recycled slot keeps its queue accounting across
 	// tenants, so all served/changes figures are deltas from here.
@@ -80,6 +92,7 @@ func runSession(cfg Config, id int, res *SessionResult) {
 		return
 	}
 	res.Released = true
+	s.emit(obs.Event{Type: obs.EventSessionClose, Session: int(c.Session()), Rule: "swarm"})
 }
 
 // dialRetry dials the gateway, backing off exponentially on transient
@@ -93,6 +106,10 @@ func dialRetry(cfg Config) (*gateway.Client, error) {
 			return c, nil
 		}
 		lastErr = err
+		if errors.Is(err, gateway.ErrSessionLimit) {
+			cfg.swarm.openFailInc()
+			cfg.swarm.emit(obs.Event{Type: obs.EventOpenFail, Session: -1, Rule: "swarm"})
+		}
 		if !retryable(err) {
 			break
 		}
@@ -124,22 +141,34 @@ func retryable(err error) bool {
 
 // poll performs one STATS round-trip, recording its RTT and the queue
 // high-water mark, and settles every pending burst the served counter
-// now covers.
-func poll(c *gateway.Client, res *SessionResult, pending []pendingBurst) ([]pendingBurst, error) {
+// now covers. Samples land in the session-local histograms and, when a
+// registry is attached, the swarm-wide live ones.
+func poll(c *gateway.Client, s *swarmObs, res *SessionResult, pending []pendingBurst) ([]pendingBurst, error) {
 	t0 := time.Now()
 	st, err := c.Stats()
 	if err != nil {
 		return pending, fmt.Errorf("stats: %w", err)
 	}
 	now := time.Now()
-	res.RTT.Observe(int64(now.Sub(t0)))
+	rtt := int64(now.Sub(t0))
+	res.RTT.Observe(rtt)
 	if st.Queued > res.MaxQueued {
 		res.MaxQueued = st.Queued
 	}
+	var delivered int64
 	for len(pending) > 0 && pending[0].threshold <= st.Served {
-		res.Delivery.Observe(int64(now.Sub(pending[0].sent)))
+		lat := int64(now.Sub(pending[0].sent))
+		res.Delivery.Observe(lat)
+		if s != nil {
+			s.delivery.Observe(lat)
+		}
 		res.Delivered++
+		delivered++
 		pending = pending[1:]
+	}
+	if s != nil {
+		s.rtt.Observe(rtt)
+		s.delivered.Add(delivered)
 	}
 	return pending, nil
 }
@@ -163,9 +192,10 @@ func openLoop(cfg Config, c *gateway.Client, tr *trace.Trace, baseServed bw.Bits
 			cum += burst
 			res.Bursts++
 			res.BitsSent = cum
+			cfg.swarm.sent(burst)
 			pending = append(pending, pendingBurst{threshold: baseServed + cum, sent: time.Now()})
 		}
-		if pending, err = poll(c, res, pending); err != nil {
+		if pending, err = poll(c, cfg.swarm, res, pending); err != nil {
 			return err
 		}
 	}
@@ -175,7 +205,7 @@ func openLoop(cfg Config, c *gateway.Client, tr *trace.Trace, baseServed bw.Bits
 	deadline := time.Now().Add(cfg.DrainTimeout)
 	for len(pending) > 0 && time.Now().Before(deadline) {
 		<-ticker.C
-		if pending, err = poll(c, res, pending); err != nil {
+		if pending, err = poll(c, cfg.swarm, res, pending); err != nil {
 			return err
 		}
 	}
@@ -205,6 +235,7 @@ func closedLoop(cfg Config, c *gateway.Client, tr *trace.Trace, baseServed bw.Bi
 		cum += burst
 		res.Bursts++
 		res.BitsSent = cum
+		cfg.swarm.sent(burst)
 		pending = append(pending, pendingBurst{threshold: baseServed + cum, sent: time.Now()})
 		deadline := time.Now().Add(cfg.DrainTimeout)
 		for len(pending) > 0 {
@@ -212,7 +243,7 @@ func closedLoop(cfg Config, c *gateway.Client, tr *trace.Trace, baseServed bw.Bi
 				return nil // wedged service: stop offering, keep accounting
 			}
 			<-ticker.C
-			if pending, err = poll(c, res, pending); err != nil {
+			if pending, err = poll(c, cfg.swarm, res, pending); err != nil {
 				return err
 			}
 		}

@@ -137,6 +137,30 @@ func (h *Histogram) Quantile(p float64) int64 {
 	return h.max
 }
 
+// Bucket is one non-empty histogram bucket: Count samples fell in the
+// value range (previous bucket's UpperBound, UpperBound]. Buckets are the
+// export surface for Prometheus-style cumulative rendering (internal/obs).
+type Bucket struct {
+	UpperBound int64
+	Count      uint64
+}
+
+// Buckets returns the non-empty buckets in increasing value order. Empty
+// buckets are elided — a cumulative rendering stays correct because the
+// running total is unchanged across them.
+func (h *Histogram) Buckets() []Bucket {
+	if h.count == 0 {
+		return nil
+	}
+	var out []Bucket
+	for i, c := range h.counts {
+		if c != 0 {
+			out = append(out, Bucket{UpperBound: histBucketMax(i), Count: c})
+		}
+	}
+	return out
+}
+
 // Merge adds all of o's samples into h.
 func (h *Histogram) Merge(o *Histogram) {
 	if o == nil || o.count == 0 {

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Admin bundles the data sources behind the admin HTTP endpoints. Any
+// field may be nil; the corresponding endpoint then serves an empty but
+// well-formed response.
+type Admin struct {
+	// Registry backs /metrics (Prometheus text exposition format).
+	Registry *Registry
+	// Ring backs /events (JSONL dump, oldest first).
+	Ring *Ring
+	// Sessions backs /sessions: a JSON-marshalable snapshot (typically
+	// []gateway.SessionInfo, kept as a closure so obs does not import
+	// the packages it observes).
+	Sessions func() any
+	// Health backs /healthz: nil (or a nil func) reports healthy; an
+	// error reports 503 with the error text.
+	Health func() error
+}
+
+// Handler returns the admin mux: /metrics, /healthz, /sessions,
+// /events, and the net/http/pprof suite under /debug/pprof/.
+func (a *Admin) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		a.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		if a.Health != nil {
+			if err := a.Health(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/sessions", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		var snap any
+		if a.Sessions != nil {
+			snap = a.Sessions()
+		}
+		if snap == nil {
+			snap = []any{}
+		}
+		json.NewEncoder(w).Encode(snap)
+	})
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		a.Ring.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// AdminServer is a running admin HTTP server.
+type AdminServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartAdmin listens on addr and serves a's endpoints in a background
+// goroutine until Close.
+func StartAdmin(addr string, a *Admin) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen: %w", err)
+	}
+	srv := &http.Server{
+		Handler:           a.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	s := &AdminServer{ln: ln, srv: srv}
+	go srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the server's listen address.
+func (s *AdminServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately.
+func (s *AdminServer) Close() error { return s.srv.Close() }

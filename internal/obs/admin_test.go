@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (*http.Response, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s read: %v", path, err)
+	}
+	return resp, string(body)
+}
+
+func TestAdminMetricsEndpoint(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dynbw_admin_total", "h", L("policy", "phased")).Add(7)
+	srv := httptest.NewServer((&Admin{Registry: reg}).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") || !strings.Contains(ct, "0.0.4") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(body, `dynbw_admin_total{policy="phased"} 7`) {
+		t.Errorf("metrics body:\n%s", body)
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	srv := httptest.NewServer((&Admin{}).Handler())
+	defer srv.Close()
+	if resp, body := get(t, srv, "/healthz"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	sick := httptest.NewServer((&Admin{Health: func() error { return errors.New("listener down") }}).Handler())
+	defer sick.Close()
+	if resp, body := get(t, sick, "/healthz"); resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(body, "listener down") {
+		t.Errorf("sick healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestAdminSessions(t *testing.T) {
+	type row struct {
+		Slot int   `json:"slot"`
+		Rate int64 `json:"rate"`
+	}
+	a := &Admin{Sessions: func() any { return []row{{Slot: 0, Rate: 4}, {Slot: 3, Rate: 1}} }}
+	srv := httptest.NewServer(a.Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/sessions")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var rows []row
+	if err := json.Unmarshal([]byte(body), &rows); err != nil {
+		t.Fatalf("sessions not JSON: %v\n%s", err, body)
+	}
+	if len(rows) != 2 || rows[1].Slot != 3 {
+		t.Errorf("rows = %+v", rows)
+	}
+}
+
+func TestAdminSessionsNilSource(t *testing.T) {
+	srv := httptest.NewServer((&Admin{}).Handler())
+	defer srv.Close()
+	if _, body := get(t, srv, "/sessions"); strings.TrimSpace(body) != "[]" {
+		t.Errorf("nil sessions body = %q, want []", body)
+	}
+}
+
+func TestAdminEvents(t *testing.T) {
+	ring := NewRing(8)
+	ring.Event(Event{Type: EventSessionOpen, Session: 1})
+	ring.Event(Event{Type: EventRenegotiateUp, Session: 1, OldRate: 2, NewRate: 5, Rule: "phase-raise"})
+	srv := httptest.NewServer((&Admin{Ring: ring}).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/events")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2:\n%s", len(lines), body)
+	}
+	if !strings.Contains(lines[1], `"rule":"phase-raise"`) {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	// An Admin with a nil ring still serves an empty, well-formed dump.
+	empty := httptest.NewServer((&Admin{}).Handler())
+	defer empty.Close()
+	if resp, body := get(t, empty, "/events"); resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("nil-ring events = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestAdminPprof(t *testing.T) {
+	srv := httptest.NewServer((&Admin{}).Handler())
+	defer srv.Close()
+	if resp, body := get(t, srv, "/debug/pprof/"); resp.StatusCode != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index = %d", resp.StatusCode)
+	}
+	if resp, _ := get(t, srv, "/debug/pprof/cmdline"); resp.StatusCode != http.StatusOK {
+		t.Errorf("pprof cmdline = %d", resp.StatusCode)
+	}
+}
+
+func TestStartAdminServes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Gauge("dynbw_up", "h").Set(1)
+	s, err := StartAdmin("127.0.0.1:0", &Admin{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	resp, err := http.Get("http://" + s.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "dynbw_up 1") {
+		t.Errorf("StartAdmin metrics = %d %q", resp.StatusCode, body)
+	}
+	if err := s.Close(); err != nil {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dynbw/internal/bw"
+)
+
+// EventType classifies an allocation-event trace entry.
+type EventType uint8
+
+const (
+	// EventSessionOpen: a session slot was claimed (gateway side) or a
+	// client completed its OPEN/OPENED exchange (swarm side).
+	EventSessionOpen EventType = iota + 1
+	// EventSessionClose: a session slot was released via CLOSE/CLOSED.
+	EventSessionClose
+	// EventOpenFail: an OPEN was rejected because every slot was in use.
+	EventOpenFail
+	// EventIdleDisconnect: the gateway dropped an idle or wedged client.
+	EventIdleDisconnect
+	// EventRenegotiateUp: a policy raised a session's allocation — the
+	// paper's cost measure, one change.
+	EventRenegotiateUp
+	// EventRenegotiateDown: a policy lowered a session's allocation
+	// (overflow drain or a matured REDUCE).
+	EventRenegotiateDown
+	// EventOverflow: a session's backlog engaged the overflow channel.
+	EventOverflow
+	// EventStageReset: a stage boundary (multi-session RESET, combined
+	// global reset, or a growth of the global bandwidth estimate).
+	EventStageReset
+)
+
+// String returns the JSONL spelling of the event type.
+func (t EventType) String() string {
+	switch t {
+	case EventSessionOpen:
+		return "session_open"
+	case EventSessionClose:
+		return "session_close"
+	case EventOpenFail:
+		return "open_fail"
+	case EventIdleDisconnect:
+		return "idle_disconnect"
+	case EventRenegotiateUp:
+		return "renegotiate_up"
+	case EventRenegotiateDown:
+		return "renegotiate_down"
+	case EventOverflow:
+		return "overflow"
+	case EventStageReset:
+		return "stage_reset"
+	default:
+		return fmt.Sprintf("event_%d", uint8(t))
+	}
+}
+
+// MarshalJSON renders the type as its string spelling.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// Event is one allocation-trace entry. Session is the slot index, or -1
+// for events not tied to one session (stage resets, failed opens). Rule
+// names the policy decision that triggered a renegotiation (e.g.
+// "phase-raise", "test-spill", "reduce", "stage-reset", "global-reset").
+type Event struct {
+	Seq     uint64    `json:"seq"`
+	Time    time.Time `json:"time"`
+	Type    EventType `json:"type"`
+	Session int       `json:"session"`
+	Tick    bw.Tick   `json:"tick,omitempty"`
+	OldRate bw.Rate   `json:"old_rate,omitempty"`
+	NewRate bw.Rate   `json:"new_rate,omitempty"`
+	Rule    string    `json:"rule,omitempty"`
+}
+
+// Observer receives allocation events. The core policies, the gateway
+// and the load swarm each accept an optional Observer; a Ring is the
+// standard implementation. Implementations must be safe for concurrent
+// use and must not block: events are emitted from allocation and
+// connection hot paths.
+type Observer interface {
+	Event(Event)
+}
+
+// Observable is implemented by policies that accept an Observer
+// (core.Phased, core.Continuous, core.Combined).
+type Observable interface {
+	SetObserver(Observer)
+}
+
+// Ring is a fixed-size ring buffer of events — the standard Observer.
+// When full, the oldest events are overwritten; Seq stays globally
+// monotone so a dump shows how many were dropped.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	total uint64
+}
+
+// DefaultRingSize is the event capacity used when NewRing is given a
+// non-positive size.
+const DefaultRingSize = 4096
+
+// NewRing returns a ring holding the last n events.
+func NewRing(n int) *Ring {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Event implements Observer: it stamps the sequence number (and the
+// wall-clock time, when unset) and appends, overwriting the oldest
+// entry once the ring is full.
+func (r *Ring) Event(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	e.Seq = r.total
+	r.total++
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, e)
+	} else {
+		r.buf[e.Seq%uint64(cap(r.buf))] = e
+	}
+	r.mu.Unlock()
+}
+
+// Total returns how many events have ever been appended.
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Snapshot returns the retained events, oldest first.
+func (r *Ring) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	if len(r.buf) < cap(r.buf) {
+		return append(out, r.buf...)
+	}
+	start := r.total % uint64(cap(r.buf))
+	out = append(out, r.buf[start:]...)
+	return append(out, r.buf[:start]...)
+}
+
+// WriteJSONL dumps the retained events as one JSON object per line,
+// oldest first.
+func (r *Ring) WriteJSONL(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, e := range r.Snapshot() {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}

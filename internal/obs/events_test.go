@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingAppendAndSnapshot(t *testing.T) {
+	r := NewRing(8)
+	r.Event(Event{Type: EventSessionOpen, Session: 0})
+	r.Event(Event{Type: EventRenegotiateUp, Session: 0, OldRate: 2, NewRate: 6, Rule: "phase-raise"})
+	r.Event(Event{Type: EventSessionClose, Session: 0})
+
+	if got := r.Total(); got != 3 {
+		t.Fatalf("Total = %d, want 3", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("Snapshot len = %d, want 3", len(snap))
+	}
+	for i, e := range snap {
+		if e.Seq != uint64(i) {
+			t.Errorf("snap[%d].Seq = %d, want %d", i, e.Seq, i)
+		}
+		if e.Time.IsZero() {
+			t.Errorf("snap[%d].Time not stamped", i)
+		}
+	}
+	if snap[1].Rule != "phase-raise" || snap[1].NewRate != 6 {
+		t.Errorf("event payload mangled: %+v", snap[1])
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	const capacity = 4
+	r := NewRing(capacity)
+	for i := 0; i < 11; i++ {
+		r.Event(Event{Type: EventOverflow, Session: i})
+	}
+	if got := r.Total(); got != 11 {
+		t.Fatalf("Total = %d, want 11", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != capacity {
+		t.Fatalf("Snapshot len = %d, want %d", len(snap), capacity)
+	}
+	// Oldest first: the last `capacity` events, in order, with monotone Seq.
+	for i, e := range snap {
+		wantSeq := uint64(11 - capacity + i)
+		if e.Seq != wantSeq || e.Session != int(wantSeq) {
+			t.Errorf("snap[%d] = {Seq:%d Session:%d}, want Seq=Session=%d",
+				i, e.Seq, e.Session, wantSeq)
+		}
+	}
+}
+
+func TestRingPreservesExplicitTime(t *testing.T) {
+	r := NewRing(2)
+	stamp := time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC)
+	r.Event(Event{Type: EventStageReset, Session: -1, Time: stamp})
+	if got := r.Snapshot()[0].Time; !got.Equal(stamp) {
+		t.Errorf("explicit timestamp overwritten: %v", got)
+	}
+}
+
+func TestRingWriteJSONL(t *testing.T) {
+	r := NewRing(8)
+	r.Event(Event{Type: EventRenegotiateDown, Session: 2, Tick: 17, OldRate: 8, NewRate: 3, Rule: "reduce"})
+	r.Event(Event{Type: EventOpenFail, Session: -1})
+
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d JSONL lines, want 2:\n%s", len(lines), b.String())
+	}
+	var e struct {
+		Seq     uint64 `json:"seq"`
+		Type    string `json:"type"`
+		Session int    `json:"session"`
+		Tick    int64  `json:"tick"`
+		OldRate int64  `json:"old_rate"`
+		NewRate int64  `json:"new_rate"`
+		Rule    string `json:"rule"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &e); err != nil {
+		t.Fatalf("line 0 not JSON: %v", err)
+	}
+	if e.Type != "renegotiate_down" || e.Tick != 17 || e.OldRate != 8 || e.NewRate != 3 || e.Rule != "reduce" {
+		t.Errorf("decoded event = %+v", e)
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &e); err != nil {
+		t.Fatalf("line 1 not JSON: %v", err)
+	}
+	if e.Type != "open_fail" || e.Session != -1 {
+		t.Errorf("decoded event = %+v", e)
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	want := map[EventType]string{
+		EventSessionOpen:     "session_open",
+		EventSessionClose:    "session_close",
+		EventOpenFail:        "open_fail",
+		EventIdleDisconnect:  "idle_disconnect",
+		EventRenegotiateUp:   "renegotiate_up",
+		EventRenegotiateDown: "renegotiate_down",
+		EventOverflow:        "overflow",
+		EventStageReset:      "stage_reset",
+		EventType(99):        "event_99",
+	}
+	for typ, s := range want {
+		if got := typ.String(); got != s {
+			t.Errorf("%d.String() = %q, want %q", typ, got, s)
+		}
+	}
+}
+
+func TestNilRingNoOp(t *testing.T) {
+	var r *Ring
+	r.Event(Event{Type: EventSessionOpen})
+	if r.Total() != 0 || r.Snapshot() != nil {
+		t.Error("nil ring retained state")
+	}
+	if err := r.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Errorf("nil ring WriteJSONL: %v", err)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Event(Event{Type: EventRenegotiateUp, Session: id})
+				r.Snapshot()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if got := r.Total(); got != 800 {
+		t.Errorf("Total = %d, want 800", got)
+	}
+	snap := r.Snapshot()
+	for i := 1; i < len(snap); i++ {
+		if snap[i].Seq != snap[i-1].Seq+1 {
+			t.Fatalf("Seq gap in snapshot: %d then %d", snap[i-1].Seq, snap[i].Seq)
+		}
+	}
+}

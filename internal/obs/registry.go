@@ -1,0 +1,326 @@
+// Package obs is the live observability layer: a zero-dependency
+// Prometheus-text-format metrics registry (counters, gauges, and
+// histograms backed by internal/metrics.Histogram), a structured
+// allocation-event tracer (a fixed-size ring of typed events emitted
+// through the optional Observer interface that the core policies, the
+// gateway, and the load swarm all accept), a rate-limited slog wrapper
+// for hot-path error diagnostics, and an admin HTTP server exposing
+// /metrics, /healthz, /sessions, /events and net/http/pprof.
+//
+// Everything is stdlib-only and safe for concurrent use. Counter, Gauge
+// and LiveHistogram methods are nil-receiver-safe so instrumented code
+// reads the same whether or not a registry is attached.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dynbw/internal/metrics"
+)
+
+// Label is one metric label pair; series within a family are keyed by
+// their rendered label set.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for building a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing metric. The nil *Counter is a
+// valid no-op, so call sites need no registry guards.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil *Gauge is a valid
+// no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add moves the gauge by n (may be negative).
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// LiveHistogram is a mutex-wrapped metrics.Histogram — the
+// concurrency-safe variant for shared hot paths (per-exchange gateway
+// latency, swarm-wide delivery latency). The nil *LiveHistogram is a
+// valid no-op.
+type LiveHistogram struct {
+	mu sync.Mutex
+	h  metrics.Histogram
+}
+
+// Observe records one sample.
+func (l *LiveHistogram) Observe(v int64) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	l.h.Observe(v)
+	l.mu.Unlock()
+}
+
+// Snapshot returns a point-in-time copy of the underlying histogram.
+func (l *LiveHistogram) Snapshot() metrics.Histogram {
+	if l == nil {
+		return metrics.Histogram{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out metrics.Histogram
+	out.Merge(&l.h)
+	return out
+}
+
+// series is one labeled time series within a family.
+type series struct {
+	labels string // rendered {k="v",...} or ""
+	c      *Counter
+	g      *Gauge
+	gf     func() int64
+	h      *LiveHistogram
+}
+
+// family is one named metric with HELP/TYPE and its series.
+type family struct {
+	name, help, typ string
+	order           []string
+	series          map[string]*series
+}
+
+// Registry holds metric families and renders them in the Prometheus text
+// exposition format. Registration is idempotent: asking for the same
+// name + label set returns the existing instrument.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// get returns the family, creating it with the given type on first use.
+// A type clash on an existing name panics: it is a programming error
+// that would silently corrupt the exposition otherwise.
+func (r *Registry) get(name, help, typ string) *family {
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// sel returns the family's series for the label set, creating it via
+// mk on first use.
+func (f *family) sel(labels []Label, mk func() *series) *series {
+	key := renderLabels(labels)
+	s, ok := f.series[key]
+	if !ok {
+		s = mk()
+		s.labels = key
+		f.series[key] = s
+		f.order = append(f.order, key)
+	}
+	return s
+}
+
+// Counter registers (or returns) a counter series.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, "counter")
+	return f.sel(labels, func() *series { return &series{c: &Counter{}} }).c
+}
+
+// Gauge registers (or returns) a gauge series.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, "gauge")
+	return f.sel(labels, func() *series { return &series{g: &Gauge{}} }).g
+}
+
+// GaugeFunc registers a gauge series whose value is read from fn at
+// scrape time — for values owned elsewhere (queue depths, pool sizes).
+func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, "gauge")
+	f.sel(labels, func() *series { return &series{gf: fn} })
+}
+
+// Histogram registers (or returns) a live histogram series rendered
+// with internal/metrics.Histogram's log-spaced buckets.
+func (r *Registry) Histogram(name, help string, labels ...Label) *LiveHistogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, "histogram")
+	return f.sel(labels, func() *series { return &series{h: &LiveHistogram{}} }).h
+}
+
+// WritePrometheus renders every family in the text exposition format
+// (families sorted by name, series in registration order).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		b.Reset()
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, escapeHelp(f.help), f.name, f.typ)
+		r.mu.Lock()
+		order := append([]string(nil), f.order...)
+		ss := make([]*series, len(order))
+		for i, key := range order {
+			ss[i] = f.series[key]
+		}
+		r.mu.Unlock()
+		for _, s := range ss {
+			switch {
+			case s.c != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
+			case s.g != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.g.Value())
+			case s.gf != nil:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.gf())
+			case s.h != nil:
+				writeHistogram(&b, f.name, s.labels, s.h)
+			}
+		}
+		if _, err := io.WriteString(w, b.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram renders one histogram series: cumulative buckets over
+// the snapshot's non-empty native buckets, then +Inf, sum and count.
+func writeHistogram(b *strings.Builder, name, labels string, l *LiveHistogram) {
+	snap := l.Snapshot()
+	var cum uint64
+	for _, bk := range snap.Buckets() {
+		cum += bk.Count
+		fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(labels, fmt.Sprintf("%d", bk.UpperBound)), cum)
+	}
+	fmt.Fprintf(b, "%s_bucket%s %d\n", name, withLE(labels, "+Inf"), snap.Count())
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, labels, snap.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, snap.Count())
+}
+
+// withLE splices an le label into an already-rendered label set.
+func withLE(labels, le string) string {
+	if labels == "" {
+		return fmt.Sprintf(`{le="%s"}`, le)
+	}
+	return fmt.Sprintf(`%s,le="%s"}`, strings.TrimSuffix(labels, "}"), le)
+}
+
+// renderLabels renders a label set as {k="v",...}; empty input renders
+// as "". Labels are sorted by key for a stable series identity.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeValue escapes a label value per the text exposition format.
+func escapeValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// escapeHelp escapes a HELP string per the text exposition format.
+func escapeHelp(h string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(h)
+}
