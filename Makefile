@@ -2,13 +2,18 @@
 
 GO ?= go
 
-.PHONY: all build test race bench fuzz load experiments examples cover clean
+.PHONY: all build test lint race bench fuzz load experiments examples cover clean
 
-all: build test
+all: build lint test
 
 build:
 	$(GO) build ./...
 	$(GO) vet ./...
+
+# Project-specific static analysis (cost-measure and concurrency
+# invariants); exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/bwlint ./...
 
 test:
 	$(GO) test ./...

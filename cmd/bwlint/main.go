@@ -1,0 +1,95 @@
+// Command bwlint runs the project's static-analysis suite
+// (internal/lint) over module packages and reports invariant
+// violations.
+//
+// Usage:
+//
+//	bwlint [-checks list] [-json] [-list] [patterns ...]
+//
+// Patterns are package directories relative to the module root, with
+// "./..." expansion; the default is the whole module. The exit code is
+// 0 when clean, 1 when findings were reported, 2 on usage or load
+// errors — so CI can gate merges on `go run ./cmd/bwlint ./...`.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"dynbw/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with injectable streams so the driver is testable.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("bwlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		checksFlag = fs.String("checks", "", "comma-separated check names to run (default: all)")
+		jsonFlag   = fs.Bool("json", false, "emit findings as a JSON array instead of text")
+		listFlag   = fs.Bool("list", false, "list available checks and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: bwlint [-checks list] [-json] [-list] [patterns ...]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	checks := lint.Checks()
+	if *listFlag {
+		for _, c := range checks {
+			fmt.Fprintf(stdout, "%-16s %s\n", c.Name(), c.Doc())
+		}
+		return 0
+	}
+	checks, err := lint.Select(checks, *checksFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, "bwlint:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "bwlint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "bwlint:", err)
+		return 2
+	}
+
+	findings, err := lint.Run(root, fs.Args(), checks)
+	if err != nil {
+		fmt.Fprintln(stderr, "bwlint:", err)
+		return 2
+	}
+
+	if *jsonFlag {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []lint.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "bwlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

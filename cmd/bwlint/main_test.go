@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynbw/internal/lint"
+)
+
+func TestList(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("-list exited %d, stderr: %s", code, errOut.String())
+	}
+	for _, name := range []string{"emit-on-change", "guarded-by", "nil-safe", "unit-hygiene"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestBadFlagsExit2(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Errorf("bad flag exited %d, want 2", code)
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-checks", "no-such-check"}, &out, &errOut); code != 2 {
+		t.Errorf("unknown check exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "unknown check") {
+		t.Errorf("stderr missing diagnosis: %s", errOut.String())
+	}
+}
+
+func TestFindingsExit1(t *testing.T) {
+	dir := filepath.Join("internal", "lint", "testdata", "src", "units")
+	var out, errOut strings.Builder
+	code := run([]string{"-checks", "unit-hygiene", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("lint over %s exited %d, want 1; stderr: %s", dir, code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "[unit-hygiene]") {
+		t.Errorf("text output missing check tag:\n%s", out.String())
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	dir := filepath.Join("internal", "lint", "testdata", "src", "nilsafe")
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "-checks", "nil-safe", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var findings []lint.Finding
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("output is not a JSON finding array: %v\n%s", err, out.String())
+	}
+	if len(findings) == 0 {
+		t.Fatal("expected findings in JSON output")
+	}
+	for _, f := range findings {
+		if f.Check != "nil-safe" || f.Line == 0 || f.File == "" {
+			t.Errorf("malformed finding: %+v", f)
+		}
+	}
+}
+
+// TestRealModuleClean is the acceptance test from the issue: the driver
+// over the real module exits 0.
+func TestRealModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	var out, errOut strings.Builder
+	if code := run([]string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("bwlint ./... exited %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errOut.String())
+	}
+	if out.String() != "" {
+		t.Errorf("expected no output, got:\n%s", out.String())
+	}
+}

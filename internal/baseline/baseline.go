@@ -64,7 +64,7 @@ func (p *PerTick) Rate(t bw.Tick, arrived, _ bw.Bits) bw.Rate {
 		if horizon < 1 {
 			horizon = 1
 		}
-		if r := bw.CeilDiv(cum, horizon); r > need {
+		if r := bw.RateOver(cum, horizon); r > need {
 			need = r
 		}
 	}
@@ -117,8 +117,8 @@ func (p *Periodic) Rate(t bw.Tick, arrived, queued bw.Bits) bw.Rate {
 		if d < 1 {
 			d = 1
 		}
-		sustain := bw.CeilDiv(p.arrived, period)
-		clear := bw.CeilDiv(queued, d)
+		sustain := bw.RateOver(p.arrived, period)
+		clear := bw.RateOver(queued, d)
 		p.rate = bw.Max(sustain, clear)
 		p.arrived = 0
 		p.lastRenew = t
@@ -171,12 +171,12 @@ func (e *EWMA) Rate(_ bw.Tick, arrived, queued bw.Bits) bw.Rate {
 	target := bw.Rate(e.est * e.Headroom)
 	cur := float64(e.rate)
 	outOfBand := cur > e.est*e.Headroom*e.Band || cur*e.Band < e.est*e.Headroom
-	safety := queued > e.rate*e.D
+	safety := queued > bw.Volume(e.rate, e.D)
 	switch {
 	case safety:
 		// Backlog cannot be drained within the delay budget: jump to a
 		// rate that clears it.
-		need := bw.CeilDiv(queued, e.D)
+		need := bw.RateOver(queued, e.D)
 		if need > target {
 			e.rate = need
 		} else {

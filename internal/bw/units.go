@@ -35,6 +35,21 @@ func CeilDiv(a, b int64) int64 {
 	return (a + b - 1) / b
 }
 
+// Volume returns the number of bits a rate moves over an interval.
+// It is the canonical rate × ticks crossing: code outside this package
+// should call Volume rather than multiply the aliases directly, so the
+// unit-hygiene lint can vouch for the dimension.
+func Volume(r Rate, d Tick) Bits {
+	return r * d
+}
+
+// RateOver returns the smallest rate that drains q bits within d ticks,
+// ceil(q/d). It is the canonical bits ÷ ticks crossing, the dual of
+// Volume.
+func RateOver(q Bits, d Tick) Rate {
+	return CeilDiv(q, d)
+}
+
 // NextPow2 returns the smallest power of two that is >= v. NextPow2(0) = 1.
 func NextPow2(v int64) int64 {
 	if v <= 1 {

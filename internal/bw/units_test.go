@@ -170,3 +170,43 @@ func TestMinMax(t *testing.T) {
 		t.Errorf("Max(-1,-7) = %d", got)
 	}
 }
+
+func TestVolume(t *testing.T) {
+	tests := []struct {
+		r    Rate
+		d    Tick
+		want Bits
+	}{
+		{0, 10, 0},
+		{5, 1, 5},
+		{8, 4, 32},
+		{1, 1 << 40, 1 << 40},
+	}
+	for _, tt := range tests {
+		if got := Volume(tt.r, tt.d); got != tt.want {
+			t.Errorf("Volume(%d, %d) = %d, want %d", tt.r, tt.d, got, tt.want)
+		}
+	}
+}
+
+func TestRateOver(t *testing.T) {
+	tests := []struct {
+		q    Bits
+		d    Tick
+		want Rate
+	}{
+		{0, 5, 0},
+		{10, 5, 2},
+		{11, 5, 3},
+		{1, 8, 1},
+	}
+	for _, tt := range tests {
+		if got := RateOver(tt.q, tt.d); got != tt.want {
+			t.Errorf("RateOver(%d, %d) = %d, want %d", tt.q, tt.d, got, tt.want)
+		}
+	}
+	// RateOver is exactly CeilDiv with unit-bearing arguments.
+	if RateOver(17, 4) != CeilDiv(17, 4) {
+		t.Error("RateOver disagrees with CeilDiv")
+	}
+}

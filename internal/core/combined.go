@@ -168,6 +168,13 @@ func (c *Combined) startGlobalStage(t bw.Tick) {
 	c.ghigh = NewHighTracker(c.p.W, c.p.UO, c.p.BA)
 	c.bon = 0
 	c.stats.GlobalStages++
+	// The event is emitted here, on the same path as the allocation
+	// writes it explains; at construction the observer is still nil, so
+	// the initial stage is (correctly) not counted as a change.
+	if c.o != nil {
+		c.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+			Rule: "global-reset"})
+	}
 	c.startLocalStage(t)
 }
 
@@ -224,15 +231,11 @@ func (c *Combined) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 			c.gq[i] += c.qr[i] + c.qo[i]
 			c.qr[i], c.qo[i] = 0, 0
 			if c.gq[i] > 0 {
-				c.gqRate[i] = bw.CeilDiv(c.gq[i], do)
+				c.gqRate[i] = bw.RateOver(c.gq[i], do)
 			}
 		}
 		c.stats.GlobalResets++
 		c.startGlobalStage(t)
-		if c.o != nil {
-			c.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
-				Rule: "global-reset"})
-		}
 	} else if glow > 0 {
 		want := bw.NextPow2(glow)
 		if want > c.p.BA {
@@ -280,7 +283,7 @@ func (c *Combined) innerPhased(t bw.Tick) {
 		var totalRegular bw.Rate
 		for i := 0; i < k; i++ {
 			old := c.bir[i] + c.bio[i]
-			if c.qr[i] <= c.bir[i]*do {
+			if c.qr[i] <= bw.Volume(c.bir[i], do) {
 				c.bio[i] = 0
 				if c.o != nil && old > c.bir[i] {
 					c.o.Event(obs.Event{Type: obs.EventRenegotiateDown, Tick: t, Session: i,
@@ -291,7 +294,7 @@ func (c *Combined) innerPhased(t bw.Tick) {
 				c.bir[i] += c.share()
 				c.qo[i] += c.qr[i]
 				c.qr[i] = 0
-				c.bio[i] = bw.CeilDiv(c.qo[i], do)
+				c.bio[i] = bw.RateOver(c.qo[i], do)
 				if c.o != nil {
 					c.o.Event(obs.Event{Type: obs.EventRenegotiateUp, Tick: t, Session: i,
 						OldRate: old, NewRate: c.bir[i] + c.bio[i], Rule: "phase-raise"})
@@ -307,7 +310,7 @@ func (c *Combined) innerPhased(t bw.Tick) {
 			for i := 0; i < k; i++ {
 				c.qo[i] += c.qr[i]
 				c.qr[i] = 0
-				c.bio[i] = bw.CeilDiv(c.qo[i], do)
+				c.bio[i] = bw.RateOver(c.qo[i], do)
 			}
 			c.startLocalStage(t)
 			if c.o != nil {
@@ -344,7 +347,7 @@ func (c *Combined) innerContinuous(t bw.Tick, arrived []bw.Bits) {
 		if arrived[i] == 0 || c.bon == 0 {
 			continue
 		}
-		if c.qr[i] > c.bir[i]*do {
+		if c.qr[i] > bw.Volume(c.bir[i], do) {
 			old := c.bir[i] + c.bio[i]
 			hadOverflow := c.bio[i] > 0
 			c.bir[i] += c.share()
@@ -387,7 +390,7 @@ func (c *Combined) spillContinuous(i int, t bw.Tick) {
 	}
 	c.qo[i] += q
 	c.qr[i] = 0
-	grant := bw.CeilDiv(q, c.p.DO)
+	grant := bw.RateOver(q, c.p.DO)
 	c.bio[i] += grant
 	c.reductions[i][t+c.p.DO] += grant
 }

@@ -92,7 +92,7 @@ func (a *Continuous) spill(i int, t bw.Tick) {
 	}
 	a.qo[i] += q
 	a.qr[i] = 0
-	grant := bw.CeilDiv(q, a.p.DO)
+	grant := bw.RateOver(q, a.p.DO)
 	a.bio[i] += grant
 	a.reductions[i][t+a.p.DO] += grant
 }
@@ -125,7 +125,7 @@ func (a *Continuous) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 			continue
 		}
 		a.qr[i] += arrived[i]
-		if a.qr[i] > a.bir[i]*do {
+		if a.qr[i] > bw.Volume(a.bir[i], do) {
 			old := a.bir[i] + a.bio[i]
 			hadOverflow := a.bio[i] > 0
 			a.bir[i] += a.p.Share()

@@ -55,7 +55,7 @@ func (lt *LowTracker) Observe(arrived bw.Bits) bw.Rate {
 	j := lt.bestStart(qx, qy)
 	num := qy - lt.cum[j]
 	den := qx - bw.Tick(j)
-	if cand := bw.CeilDiv(num, den); cand > lt.low {
+	if cand := bw.RateOver(num, den); cand > lt.low {
 		lt.low = cand
 	}
 	return lt.low
@@ -178,7 +178,7 @@ func naiveLow(arrivals []bw.Bits, d bw.Tick) bw.Rate {
 	for t := bw.Tick(0); t < n; t++ {
 		for a := bw.Tick(0); a <= t; a++ {
 			in := cum[t+1] - cum[a]
-			if cand := bw.CeilDiv(in, t-a+1+d); cand > low {
+			if cand := bw.RateOver(in, t-a+1+d); cand > low {
 				low = cand
 			}
 		}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynbw/internal/bw"
+	"dynbw/internal/obs"
 	"dynbw/internal/sim"
 )
 
@@ -49,10 +50,16 @@ type ModifiedSingle struct {
 	minWin  bw.Bits
 	haveMin bool
 
+	o    obs.Observer
+	last bw.Rate // allocation reported on the previous tick
+
 	stats SingleStats
 }
 
-var _ sim.Allocator = (*ModifiedSingle)(nil)
+var (
+	_ sim.Allocator  = (*ModifiedSingle)(nil)
+	_ obs.Observable = (*ModifiedSingle)(nil)
+)
 
 // NewModifiedSingle returns the Theorem 7 variant configured by p.
 func NewModifiedSingle(p SingleParams) (*ModifiedSingle, error) {
@@ -96,6 +103,26 @@ func (s *ModifiedSingle) resetRate(queued bw.Bits) bw.Rate {
 	return r
 }
 
+// SetObserver attaches an allocation-event observer (nil disables).
+// Call it before the first Rate call; the policy is not otherwise safe
+// for concurrent mutation.
+func (s *ModifiedSingle) SetObserver(o obs.Observer) { s.o = o }
+
+// emitRate reports this tick's allocation, emitting a renegotiation
+// event when it differs from the previous tick's, and returns it.
+func (s *ModifiedSingle) emitRate(t bw.Tick, r bw.Rate, rule string) bw.Rate {
+	if s.o != nil && r != s.last {
+		typ := obs.EventRenegotiateUp
+		if r < s.last {
+			typ = obs.EventRenegotiateDown
+		}
+		s.o.Event(obs.Event{Type: typ, Tick: t, Session: 0,
+			OldRate: s.last, NewRate: r, Rule: rule})
+	}
+	s.last = r
+	return r
+}
+
 // pushWindow advances the trailing arrival window.
 func (s *ModifiedSingle) pushWindow(arrived bw.Bits) {
 	if s.count >= s.p.W {
@@ -131,10 +158,13 @@ func (s *ModifiedSingle) Rate(t bw.Tick, arrived, queued bw.Bits) bw.Rate {
 
 	if s.inReset {
 		s.stats.ResetTicks++
-		if queued <= s.p.BA {
+		if queued <= bw.Volume(s.p.BA, 1) {
 			s.startStage()
 		}
-		return s.p.BA
+		// Drain at resetRate, mirroring SingleSession: returning the raw
+		// B_A here would charge bandwidth the drain cannot use (and the
+		// utilization accounting would pay for it).
+		return s.emitRate(t, s.resetRate(queued), "reset-drain")
 	}
 
 	low := s.low.Observe(arrived)
@@ -148,12 +178,16 @@ func (s *ModifiedSingle) Rate(t bw.Tick, arrived, queued bw.Bits) bw.Rate {
 	if s.high() < low {
 		s.stats.Resets++
 		s.stats.ResetTicks++
-		if queued <= s.p.BA {
+		if s.o != nil {
+			s.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+				Rule: "stage-reset"})
+		}
+		if queued <= bw.Volume(s.p.BA, 1) {
 			s.startStage()
 		} else {
 			s.inReset = true
 		}
-		return s.resetRate(queued)
+		return s.emitRate(t, s.resetRate(queued), "stage-reset")
 	}
 
 	if low > 0 {
@@ -165,7 +199,7 @@ func (s *ModifiedSingle) Rate(t bw.Tick, arrived, queued bw.Bits) bw.Rate {
 		s.stats.InfeasibleTicks++
 		s.bon = s.p.BA
 	}
-	return s.bon
+	return s.emitRate(t, s.bon, "stage-grow")
 }
 
 // Stats returns the structural counters accumulated so far.

@@ -130,3 +130,92 @@ func TestObserverOverheadWhenUnset(t *testing.T) {
 			resA.SessionChanges(), resB.SessionChanges(), resA.Delay.Max, resB.Delay.Max)
 	}
 }
+
+// runObservedSingle drives a single-session allocator over a clamped
+// on/off workload with an observer attached.
+func runObservedSingle(t *testing.T, alloc sim.Allocator, p SingleParams) (*collect, *sim.Result) {
+	t.Helper()
+	c := &collect{}
+	o, ok := alloc.(obs.Observable)
+	if !ok {
+		t.Fatalf("%T does not implement obs.Observable", alloc)
+	}
+	o.SetObserver(c)
+	tr := feasibleWorkloads(p, 800)["onoff"]
+	res, err := sim.Run(tr, alloc, sim.Options{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return c, res
+}
+
+// checkSingleEvents holds the assertions shared by the single-session
+// policies: renegotiations carry session 0 and a rule, rates move in the
+// advertised direction, and the stage-reset trace agrees with Stats.
+func checkSingleEvents(t *testing.T, c *collect, resets int) {
+	t.Helper()
+	if len(c.events) == 0 {
+		t.Fatal("single-session run emitted no events")
+	}
+	if c.count(obs.EventRenegotiateUp) == 0 {
+		t.Error("no renegotiate_up events from a loaded run")
+	}
+	if got, want := c.count(obs.EventStageReset), resets; got != want {
+		t.Errorf("stage_reset events = %d, policy counted %d resets", got, want)
+	}
+	for _, e := range c.events {
+		switch e.Type {
+		case obs.EventRenegotiateUp, obs.EventRenegotiateDown:
+			if e.Session != 0 {
+				t.Fatalf("single-session renegotiation with session %d: %+v", e.Session, e)
+			}
+			if e.Rule == "" {
+				t.Fatalf("renegotiation without a rule: %+v", e)
+			}
+			if e.Type == obs.EventRenegotiateUp && e.NewRate <= e.OldRate {
+				t.Fatalf("renegotiate_up with non-increasing rate: %+v", e)
+			}
+			if e.Type == obs.EventRenegotiateDown && e.NewRate >= e.OldRate {
+				t.Fatalf("renegotiate_down with non-decreasing rate: %+v", e)
+			}
+		}
+	}
+}
+
+func TestSingleSessionEmitsEvents(t *testing.T) {
+	p := singleParams()
+	alg := MustNewSingleSession(p)
+	c, _ := runObservedSingle(t, alg, p)
+	checkSingleEvents(t, c, alg.Stats().Resets)
+}
+
+func TestModifiedSingleEmitsEvents(t *testing.T) {
+	p := singleParams()
+	alg := MustNewModifiedSingle(p)
+	c, _ := runObservedSingle(t, alg, p)
+	checkSingleEvents(t, c, alg.Stats().Resets)
+}
+
+// TestSingleObserverNoBehaviorChange mirrors the multi-session overhead
+// test: attaching an observer must not alter the schedule.
+func TestSingleObserverNoBehaviorChange(t *testing.T) {
+	p := singleParams()
+	tr := feasibleWorkloads(p, 800)["pareto"]
+
+	plain := MustNewModifiedSingle(p)
+	observed := MustNewModifiedSingle(p)
+	observed.SetObserver(&collect{})
+
+	resA, err := sim.Run(tr, plain, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := sim.Run(tr, observed, sim.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resA.Report.Changes != resB.Report.Changes || resA.Delay.Max != resB.Delay.Max {
+		t.Errorf("observer changed behavior: changes %d/%d, max delay %d/%d",
+			resA.Report.Changes, resB.Report.Changes, resA.Delay.Max, resB.Delay.Max)
+	}
+}

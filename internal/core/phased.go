@@ -111,7 +111,7 @@ func (a *Phased) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 		var totalRegular bw.Rate
 		for i := 0; i < k; i++ {
 			old := a.bir[i] + a.bio[i]
-			if a.qr[i] <= a.bir[i]*do {
+			if a.qr[i] <= bw.Volume(a.bir[i], do) {
 				// The regular channel can drain this queue in one phase;
 				// the analysis (Claim 8) says the overflow queue is empty.
 				if a.qo[i] > 0 {
@@ -127,7 +127,7 @@ func (a *Phased) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 				a.bir[i] += a.p.Share()
 				a.qo[i] += a.qr[i]
 				a.qr[i] = 0
-				a.bio[i] = bw.CeilDiv(a.qo[i], do)
+				a.bio[i] = bw.RateOver(a.qo[i], do)
 				if a.o != nil {
 					a.o.Event(obs.Event{Type: obs.EventRenegotiateUp, Tick: t, Session: i,
 						OldRate: old, NewRate: a.bir[i] + a.bio[i], Rule: "phase-raise"})
@@ -144,7 +144,7 @@ func (a *Phased) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
 			for i := 0; i < k; i++ {
 				a.qo[i] += a.qr[i]
 				a.qr[i] = 0
-				a.bio[i] = bw.CeilDiv(a.qo[i], do)
+				a.bio[i] = bw.RateOver(a.qo[i], do)
 			}
 			a.stats.Resets++
 			a.reset(t)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynbw/internal/bw"
+	"dynbw/internal/obs"
 	"dynbw/internal/sim"
 )
 
@@ -45,6 +46,9 @@ type SingleSession struct {
 	cum     *CumHighTracker
 	bon     bw.Rate
 
+	o    obs.Observer
+	last bw.Rate // allocation reported on the previous tick
+
 	stats SingleStats
 }
 
@@ -64,7 +68,10 @@ type SingleStats struct {
 	InfeasibleTicks int
 }
 
-var _ sim.Allocator = (*SingleSession)(nil)
+var (
+	_ sim.Allocator  = (*SingleSession)(nil)
+	_ obs.Observable = (*SingleSession)(nil)
+)
 
 // NewSingleSession returns the algorithm configured by p.
 func NewSingleSession(p SingleParams) (*SingleSession, error) {
@@ -165,6 +172,27 @@ func (s *SingleSession) resetRate(queued bw.Bits) bw.Rate {
 	return r
 }
 
+// SetObserver attaches an allocation-event observer (nil disables).
+// Call it before the first Rate call; the policy is not otherwise safe
+// for concurrent mutation.
+func (s *SingleSession) SetObserver(o obs.Observer) { s.o = o }
+
+// emitRate reports this tick's allocation, emitting a renegotiation
+// event when it differs from the previous tick's — exactly the changes
+// the paper's cost measure counts — and returns it.
+func (s *SingleSession) emitRate(t bw.Tick, r bw.Rate, rule string) bw.Rate {
+	if s.o != nil && r != s.last {
+		typ := obs.EventRenegotiateUp
+		if r < s.last {
+			typ = obs.EventRenegotiateDown
+		}
+		s.o.Event(obs.Event{Type: typ, Tick: t, Session: 0,
+			OldRate: s.last, NewRate: r, Rule: rule})
+	}
+	s.last = r
+	return r
+}
+
 // observeHigh feeds the active utilization tracker.
 func (s *SingleSession) observeHigh(arrived bw.Bits) bw.Rate {
 	if s.globalUtil {
@@ -177,11 +205,11 @@ func (s *SingleSession) observeHigh(arrived bw.Bits) bw.Rate {
 func (s *SingleSession) Rate(t bw.Tick, arrived, queued bw.Bits) bw.Rate {
 	if s.inReset {
 		s.stats.ResetTicks++
-		if queued <= s.p.BA {
+		if queued <= bw.Volume(s.p.BA, 1) {
 			// The queue drains this tick; a fresh stage starts next tick.
 			s.startStage()
 		}
-		return s.resetRate(queued)
+		return s.emitRate(t, s.resetRate(queued), "reset-drain")
 	}
 
 	low := s.low.Observe(arrived)
@@ -191,12 +219,16 @@ func (s *SingleSession) Rate(t bw.Tick, arrived, queued bw.Bits) bw.Rate {
 		// this stage: end it.
 		s.stats.Resets++
 		s.stats.ResetTicks++
-		if queued <= s.p.BA {
+		if s.o != nil {
+			s.o.Event(obs.Event{Type: obs.EventStageReset, Tick: t, Session: -1,
+				Rule: "stage-reset"})
+		}
+		if queued <= bw.Volume(s.p.BA, 1) {
 			s.startStage()
 		} else {
 			s.inReset = true
 		}
-		return s.resetRate(queued)
+		return s.emitRate(t, s.resetRate(queued), "stage-reset")
 	}
 
 	if low > 0 {
@@ -208,7 +240,7 @@ func (s *SingleSession) Rate(t bw.Tick, arrived, queued bw.Bits) bw.Rate {
 		s.stats.InfeasibleTicks++
 		s.bon = s.p.BA
 	}
-	return s.bon
+	return s.emitRate(t, s.bon, "stage-grow")
 }
 
 // Stats returns the structural counters accumulated so far.

@@ -20,7 +20,7 @@ type Client struct {
 	conn     net.Conn
 	session  uint32
 	timeout  time.Duration
-	released bool
+	released bool // guarded by mu
 }
 
 // SessionStats is the per-session accounting returned by Client.Stats.

@@ -114,13 +114,13 @@ type Gateway struct {
 	log *obs.RateLimited
 
 	mu        sync.Mutex
-	pending   []bw.Bits // arrivals accumulated since the last tick
-	used      []bool    // slot taken by an open session
-	queues    []queue.FIFO
-	scheds    []*bw.Schedule
-	lastRates []bw.Rate // rates applied on the most recent tick
-	now       bw.Tick
-	conns     map[net.Conn]struct{}
+	pending   []bw.Bits             // guarded by mu; arrivals accumulated since the last tick
+	used      []bool                // guarded by mu; slot taken by an open session
+	queues    []queue.FIFO          // guarded by mu
+	scheds    []*bw.Schedule        // guarded by mu
+	lastRates []bw.Rate             // guarded by mu; rates applied on the most recent tick
+	now       bw.Tick               // guarded by mu
+	conns     map[net.Conn]struct{} // guarded by mu
 
 	wg         sync.WaitGroup
 	acceptStop chan struct{} // closed when the listener stops accepting

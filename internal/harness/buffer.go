@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dynbw/internal/baseline"
+	"dynbw/internal/bw"
 	"dynbw/internal/core"
 	"dynbw/internal/sim"
 )
@@ -17,7 +18,7 @@ import (
 // algorithm loses nothing while the static-mean strawman overflows.
 func BufferSizing() (*Table, error) {
 	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
-	claim2 := p.BA * p.DA()
+	claim2 := bw.Volume(p.BA, p.DA())
 	t := &Table{
 		ID:    "E17",
 		Title: "Buffer sizing: Claim 2's queue bound made operational",

@@ -1,0 +1,259 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EmitOnChange enforces the paper's accounting invariant on the core
+// policies: the objective function is the number of allocation changes
+// (Theorems 6, 14, 17), and PR 3 made those changes observable through
+// obs.Observer events — so a policy method that writes an allocation
+// field (declared bw.Rate or []bw.Rate on a struct with a Rate/Rates
+// method) without emitting an event silently corrupts the live cost
+// measure.
+//
+// The rule, per allocator type:
+//
+//   - an exported method that writes an allocation field must itself
+//     contain an emission (a call to an Observer's Event method or to
+//     an emit* helper);
+//   - an unexported writer may instead rely on its callers: every
+//     *method* of the same type that calls it must emit. Functions that
+//     are not methods (constructors) are exempt — initial allocation is
+//     not a change.
+//
+// The check is syntactic, so it keeps working on packages with type
+// errors, and it is scoped to the policy package (internal/core) plus
+// lint testdata.
+type EmitOnChange struct {
+	// Match selects the packages the invariant applies to.
+	Match func(importPath string) bool
+}
+
+// NewEmitOnChange returns the check with its default scope.
+func NewEmitOnChange() *EmitOnChange {
+	return &EmitOnChange{Match: func(path string) bool {
+		return strings.Contains(path, "internal/core") || strings.Contains(path, "testdata")
+	}}
+}
+
+// Name implements Check.
+func (*EmitOnChange) Name() string { return "emit-on-change" }
+
+// Doc implements Check.
+func (*EmitOnChange) Doc() string {
+	return "allocation-field writes in core policies must emit an observer event (the paper's cost measure)"
+}
+
+// methodFacts is what the check records about one method.
+type methodFacts struct {
+	decl *ast.FuncDecl
+	// writes holds the position of the first allocation-field write per
+	// written field name.
+	writes map[string]token.Pos
+	// emits reports whether the body contains an Event/emit* call.
+	emits bool
+	// calls lists same-type methods invoked through the receiver.
+	calls []string
+}
+
+// Run implements Check.
+func (c *EmitOnChange) Run(prog *Program, report Reporter) {
+	for _, pkg := range prog.Pkgs {
+		if !c.Match(pkg.ImportPath) {
+			continue
+		}
+		c.runPackage(pkg, report)
+	}
+}
+
+func (c *EmitOnChange) runPackage(pkg *Package, report Reporter) {
+	allocFields := map[string]map[string]bool{} // struct name -> alloc field set
+	hasAllocMethod := map[string]bool{}         // struct name -> has Rate/Rates method
+	methods := map[string]map[string]*methodFacts{}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			fields := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				if !isAllocFieldType(fld.Type) {
+					continue
+				}
+				for _, name := range fld.Names {
+					fields[name.Name] = true
+				}
+			}
+			if len(fields) > 0 {
+				allocFields[ts.Name.Name] = fields
+			}
+			return true
+		})
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			recvType := receiverTypeName(fd.Recv.List[0].Type)
+			if recvType == "" {
+				continue
+			}
+			if name := fd.Name.Name; name == "Rate" || name == "Rates" {
+				hasAllocMethod[recvType] = true
+			}
+			var recvName string
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvName = names[0].Name
+			}
+			facts := &methodFacts{decl: fd, writes: map[string]token.Pos{}}
+			collectFacts(fd.Body, recvName, allocFields[recvType], facts)
+			if methods[recvType] == nil {
+				methods[recvType] = map[string]*methodFacts{}
+			}
+			methods[recvType][fd.Name.Name] = facts
+		}
+	}
+
+	for typeName, byName := range methods {
+		if !hasAllocMethod[typeName] || len(allocFields[typeName]) == 0 {
+			continue
+		}
+		// Invert the receiver call graph once per type (each caller
+		// listed once, however many call sites it has).
+		callers := map[string][]string{}
+		for caller, facts := range byName {
+			seen := map[string]bool{}
+			for _, callee := range facts.calls {
+				if _, ok := byName[callee]; ok && !seen[callee] {
+					seen[callee] = true
+					callers[callee] = append(callers[callee], caller)
+				}
+			}
+		}
+		for name, facts := range byName {
+			if len(facts.writes) == 0 || facts.emits {
+				continue
+			}
+			field, pos := firstWrite(facts.writes)
+			if ast.IsExported(name) {
+				report(pos, "exported method %s.%s writes allocation field %q without emitting an observer event",
+					typeName, name, field)
+				continue
+			}
+			for _, caller := range callers[name] {
+				if !byName[caller].emits {
+					report(pos, "method %s.%s writes allocation field %q without emitting an observer event, and its caller %s does not emit either",
+						typeName, name, field, caller)
+				}
+			}
+		}
+	}
+}
+
+// isAllocFieldType reports whether a struct field's declared type spells
+// an allocation: bw.Rate or []bw.Rate.
+func isAllocFieldType(e ast.Expr) bool {
+	switch t := types.ExprString(e); t {
+	case "bw.Rate", "[]bw.Rate":
+		return true
+	}
+	return false
+}
+
+// receiverTypeName extracts T from receiver types T, *T and generic
+// instantiations.
+func receiverTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return receiverTypeName(t.X)
+	case *ast.IndexExpr:
+		return receiverTypeName(t.X)
+	}
+	return ""
+}
+
+// collectFacts walks a method body recording allocation-field writes,
+// emissions, and receiver method calls.
+func collectFacts(body *ast.BlockStmt, recvName string, fields map[string]bool, facts *methodFacts) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				if f, pos, ok := allocWrite(lhs, recvName, fields); ok {
+					if _, seen := facts.writes[f]; !seen {
+						facts.writes[f] = pos
+					}
+				}
+			}
+		case *ast.IncDecStmt:
+			if f, pos, ok := allocWrite(st.X, recvName, fields); ok {
+				if _, seen := facts.writes[f]; !seen {
+					facts.writes[f] = pos
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := st.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			if name == "Event" || strings.HasPrefix(name, "emit") {
+				facts.emits = true
+			}
+			if base, ok := sel.X.(*ast.Ident); ok && base.Name == recvName {
+				facts.calls = append(facts.calls, name)
+			}
+		}
+		return true
+	})
+}
+
+// allocWrite reports whether lhs writes recv.<field> (possibly through
+// an index), returning the field name and position.
+func allocWrite(lhs ast.Expr, recvName string, fields map[string]bool) (string, token.Pos, bool) {
+	for {
+		switch e := lhs.(type) {
+		case *ast.ParenExpr:
+			lhs = e.X
+		case *ast.IndexExpr:
+			lhs = e.X
+		case *ast.StarExpr:
+			lhs = e.X
+		case *ast.SelectorExpr:
+			base, ok := e.X.(*ast.Ident)
+			if !ok || base.Name != recvName || !fields[e.Sel.Name] {
+				return "", token.NoPos, false
+			}
+			return e.Sel.Name, e.Pos(), true
+		default:
+			return "", token.NoPos, false
+		}
+	}
+}
+
+// firstWrite returns the lexically first recorded write.
+func firstWrite(writes map[string]token.Pos) (string, token.Pos) {
+	var field string
+	pos := token.Pos(0)
+	for f, p := range writes {
+		if pos == 0 || p < pos {
+			field, pos = f, p
+		}
+	}
+	return field, pos
+}

@@ -1,0 +1,240 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// GuardedBy enforces the repo's mutex-annotation convention: a struct
+// field whose declaration comment says "guarded by <mu>" may only be
+// accessed
+//
+//   - in a function whose body locks the same mutex on the same base
+//     expression (x.mu.Lock() / x.mu.RLock(), with defer-unlock as
+//     usual),
+//   - in a constructor (a function whose results include the owning
+//     struct type — the value is not shared yet), or
+//   - in a function whose doc comment declares the lock as a
+//     precondition ("... must hold <mu>", the existing convention in
+//     gateway/client.go, or an explicit "bwlint:holds <mu>").
+//
+// The gateway, load and obs types already followed this convention
+// informally; the annotations make it machine-checked, turning latent
+// data races into lint findings instead of -race lottery tickets.
+//
+// The lock check is containment-based (the function must contain a
+// matching Lock call), not a lockset dataflow analysis; it is precise
+// enough for this codebase's lock-at-entry style and errs toward
+// false negatives, never toward noise.
+type GuardedBy struct{}
+
+// NewGuardedBy returns the check (annotation-driven, applies wherever
+// annotations appear).
+func NewGuardedBy() *GuardedBy { return &GuardedBy{} }
+
+// Name implements Check.
+func (*GuardedBy) Name() string { return "guarded-by" }
+
+// Doc implements Check.
+func (*GuardedBy) Doc() string {
+	return `fields annotated "guarded by <mu>" may only be touched with that mutex held`
+}
+
+var (
+	guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+	// holdsRe matches declared lock preconditions in function docs.
+	holdsRe = regexp.MustCompile(`(?i)(?:must hold|holds?)\s+(?:[A-Za-z_]\w*\.)*([A-Za-z_]\w*)|bwlint:holds\s+([A-Za-z_]\w*)`)
+)
+
+// guardInfo describes one annotated field.
+type guardInfo struct {
+	structName string
+	fieldName  string
+	mutex      string
+}
+
+// Run implements Check.
+func (c *GuardedBy) Run(prog *Program, report Reporter) {
+	for _, pkg := range prog.Pkgs {
+		c.runPackage(pkg, report)
+	}
+}
+
+func (c *GuardedBy) runPackage(pkg *Package, report Reporter) {
+	guarded := map[types.Object]guardInfo{}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			mutexes := map[string]bool{}
+			for _, fld := range st.Fields.List {
+				if isMutexType(fld.Type) {
+					for _, name := range fld.Names {
+						mutexes[name.Name] = true
+					}
+				}
+			}
+			for _, fld := range st.Fields.List {
+				mu := fieldGuardAnnotation(fld)
+				if mu == "" {
+					continue
+				}
+				if !mutexes[mu] {
+					report(fld.Pos(), "field %s.%s is annotated guarded by %q, but %s has no sync.Mutex/RWMutex field of that name",
+						ts.Name.Name, fieldNames(fld), mu, ts.Name.Name)
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						guarded[obj] = guardInfo{structName: ts.Name.Name, fieldName: name.Name, mutex: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			heldByDoc := declaredHeld(fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj := selectedObject(pkg.Info, sel)
+				g, ok := guarded[obj]
+				if !ok {
+					return true
+				}
+				if constructs(fd, g.structName) || heldByDoc[g.mutex] {
+					return true
+				}
+				base := types.ExprString(sel.X)
+				if !containsLock(fd.Body, base, g.mutex) {
+					report(sel.Pos(), "%s.%s is guarded by %s, but %s neither locks %s.%s nor declares it held",
+						g.structName, g.fieldName, g.mutex, fd.Name.Name, base, g.mutex)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldGuardAnnotation extracts the mutex name from a field's doc or
+// line comment.
+func fieldGuardAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isMutexType reports whether a field type spells a sync mutex.
+func isMutexType(e ast.Expr) bool {
+	switch types.ExprString(e) {
+	case "sync.Mutex", "sync.RWMutex", "*sync.Mutex", "*sync.RWMutex":
+		return true
+	}
+	return false
+}
+
+func fieldNames(fld *ast.Field) string {
+	names := make([]string, len(fld.Names))
+	for i, n := range fld.Names {
+		names[i] = n.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// selectedObject resolves a selector to the object it denotes (field
+// selections come from Selections, qualified identifiers from Uses).
+func selectedObject(info *types.Info, sel *ast.SelectorExpr) types.Object {
+	if s, ok := info.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		return s.Obj()
+	}
+	return info.Uses[sel.Sel]
+}
+
+// constructs reports whether fd's results include structName (by value
+// or pointer) — the constructor exemption.
+func constructs(fd *ast.FuncDecl, structName string) bool {
+	if fd.Type.Results == nil {
+		return false
+	}
+	for _, res := range fd.Type.Results.List {
+		t := types.ExprString(res.Type)
+		t = strings.TrimPrefix(t, "*")
+		if t == structName || strings.HasSuffix(t, "."+structName) {
+			return true
+		}
+	}
+	return false
+}
+
+// declaredHeld parses lock preconditions out of a function's doc
+// comment ("Callers must hold c.mu", "bwlint:holds mu").
+func declaredHeld(fd *ast.FuncDecl) map[string]bool {
+	held := map[string]bool{}
+	if fd.Doc == nil {
+		return held
+	}
+	for _, m := range holdsRe.FindAllStringSubmatch(fd.Doc.Text(), -1) {
+		for _, name := range m[1:] {
+			if name != "" {
+				held[name] = true
+			}
+		}
+	}
+	return held
+}
+
+// containsLock reports whether body contains base.mu.Lock() or
+// base.mu.RLock() with the same rendered base expression.
+func containsLock(body *ast.BlockStmt, base, mutex string) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		muSel, ok := sel.X.(*ast.SelectorExpr)
+		if !ok || muSel.Sel.Name != mutex {
+			return true
+		}
+		if types.ExprString(muSel.X) == base {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

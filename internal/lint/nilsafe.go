@@ -1,0 +1,161 @@
+package lint
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// NilSafe enforces the obs instrument contract: the metrics registry is
+// optional everywhere, so instrument types document "The nil *T is a
+// valid no-op" and every call site skips the registry guard. That only
+// works if every exported pointer-receiver method really does begin
+// with a nil-receiver guard — a single method relying on a colleague's
+// guard (or on luck) turns a disabled registry into a panic on a hot
+// path.
+//
+// For every struct whose doc comment claims nil safety (the "nil *T is
+// a valid no-op" sentence, "nil-receiver-safe", or a bwlint:nilsafe
+// directive), each exported method must
+//
+//   - use a pointer receiver (a value receiver dereferences before the
+//     body can guard), and
+//   - have `if recv == nil { return ... }` as its first statement
+//     (possibly || further conditions).
+type NilSafe struct {
+	// Match selects the packages the contract applies to.
+	Match func(importPath string) bool
+}
+
+// NewNilSafe returns the check with its default scope.
+func NewNilSafe() *NilSafe {
+	return &NilSafe{Match: func(path string) bool {
+		return strings.Contains(path, "internal/obs") || strings.Contains(path, "testdata")
+	}}
+}
+
+// Name implements Check.
+func (*NilSafe) Name() string { return "nil-safe" }
+
+// Doc implements Check.
+func (*NilSafe) Doc() string {
+	return "exported methods of nil-safe instrument types must begin with a nil-receiver guard"
+}
+
+var nilSafeDocRe = regexp.MustCompile(`(?i)nil \*?[A-Za-z_]\w* is a valid no-op|nil-receiver-safe|bwlint:nilsafe`)
+
+// Run implements Check.
+func (c *NilSafe) Run(prog *Program, report Reporter) {
+	for _, pkg := range prog.Pkgs {
+		if !c.Match(pkg.ImportPath) {
+			continue
+		}
+		c.runPackage(pkg, report)
+	}
+}
+
+func (c *NilSafe) runPackage(pkg *Package, report Reporter) {
+	nilSafe := map[string]bool{}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil {
+					doc = gd.Doc
+				}
+				if doc != nil && nilSafeDocRe.MatchString(doc.Text()) {
+					nilSafe[ts.Name.Name] = true
+				}
+			}
+		}
+	}
+	if len(nilSafe) == 0 {
+		return
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) == 0 || fd.Body == nil {
+				continue
+			}
+			if !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			recvType := fd.Recv.List[0].Type
+			typeName := receiverTypeName(recvType)
+			if !nilSafe[typeName] {
+				continue
+			}
+			if _, ptr := recvType.(*ast.StarExpr); !ptr {
+				report(fd.Pos(), "%s.%s has a value receiver; nil-safe types need pointer receivers so the nil guard can run",
+					typeName, fd.Name.Name)
+				continue
+			}
+			var recvName string
+			if names := fd.Recv.List[0].Names; len(names) > 0 {
+				recvName = names[0].Name
+			}
+			if recvName == "" || recvName == "_" {
+				report(fd.Pos(), "%s.%s discards its receiver and cannot guard against a nil %s",
+					typeName, fd.Name.Name, typeName)
+				continue
+			}
+			if !startsWithNilGuard(fd.Body, recvName) {
+				report(fd.Pos(), "%s is documented nil-receiver-safe, but %s does not begin with an `if %s == nil` guard",
+					typeName, fd.Name.Name, recvName)
+			}
+		}
+	}
+}
+
+// startsWithNilGuard reports whether the first statement is
+// `if recv == nil [|| ...] { ... return ... }`.
+func startsWithNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	if !condChecksNil(ifStmt.Cond, recvName) {
+		return false
+	}
+	// The guard must leave the method: its body ends in a return.
+	if n := len(ifStmt.Body.List); n > 0 {
+		_, ok := ifStmt.Body.List[n-1].(*ast.ReturnStmt)
+		return ok
+	}
+	return false
+}
+
+// condChecksNil reports whether cond is recv == nil, possibly as an
+// operand of a top-level || chain.
+func condChecksNil(cond ast.Expr, recvName string) bool {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch be.Op.String() {
+	case "==":
+		return isIdent(be.X, recvName) && isIdent(be.Y, "nil") ||
+			isIdent(be.X, "nil") && isIdent(be.Y, recvName)
+	case "||":
+		return condChecksNil(be.X, recvName) || condChecksNil(be.Y, recvName)
+	}
+	return false
+}
+
+func isIdent(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}

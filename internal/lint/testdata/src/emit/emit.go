@@ -1,0 +1,123 @@
+// Package emit is golden-test input for the emit-on-change check: struct
+// types with a Rate/Rates method and bw.Rate allocation fields, with and
+// without observer emissions on their write paths.
+package emit
+
+import "dynbw/internal/bw"
+
+// observer stands in for obs.Observer; the check is syntactic and keys
+// on calls to a method named Event (or an emit* helper).
+type observer interface {
+	Event(kind int)
+}
+
+// BadPolicy writes its allocation in an exported method without any
+// emission.
+type BadPolicy struct {
+	o   observer
+	cur bw.Rate
+}
+
+func (p *BadPolicy) Rate(t bw.Tick) bw.Rate {
+	p.cur = 8 // want "exported method BadPolicy.Rate writes allocation field"
+	return p.cur
+}
+
+// GoodPolicy pairs every write with an Event call.
+type GoodPolicy struct {
+	o   observer
+	cur bw.Rate
+}
+
+func (p *GoodPolicy) Rate(t bw.Tick) bw.Rate {
+	p.cur = 8
+	p.o.Event(1)
+	return p.cur
+}
+
+// HelperPolicy hides the write in an unexported helper whose only
+// method caller does not emit either.
+type HelperPolicy struct {
+	o   observer
+	cur bw.Rate
+}
+
+func (p *HelperPolicy) Rate(t bw.Tick) bw.Rate {
+	p.reset()
+	return p.cur
+}
+
+func (p *HelperPolicy) reset() {
+	p.cur = 0 // want "caller Rate does not emit"
+}
+
+// CoveredPolicy also writes in a helper, but its caller emits — the
+// one-level rule accepts it.
+type CoveredPolicy struct {
+	o   observer
+	cur bw.Rate
+}
+
+func (p *CoveredPolicy) Rate(t bw.Tick) bw.Rate {
+	p.reset()
+	p.o.Event(2)
+	return p.cur
+}
+
+func (p *CoveredPolicy) reset() {
+	p.cur = 0
+}
+
+// EmitHelperPolicy emits through an emit* helper instead of a direct
+// Event call.
+type EmitHelperPolicy struct {
+	o   observer
+	cur bw.Rate
+}
+
+func (p *EmitHelperPolicy) Rate(t bw.Tick) bw.Rate {
+	p.cur = 4
+	p.emitChange()
+	return p.cur
+}
+
+func (p *EmitHelperPolicy) emitChange() {
+	if p.o != nil {
+		p.o.Event(3)
+	}
+}
+
+// CtorPolicy initializes its allocation in a helper called only from a
+// constructor: the initial allocation is not a change, so no emission is
+// required.
+type CtorPolicy struct {
+	o   observer
+	cur []bw.Rate
+}
+
+// NewCtorPolicy builds a policy with a zeroed allocation.
+func NewCtorPolicy(k int) *CtorPolicy {
+	p := &CtorPolicy{cur: make([]bw.Rate, k)}
+	p.init()
+	return p
+}
+
+func (p *CtorPolicy) init() {
+	for i := range p.cur {
+		p.cur[i] = 0
+	}
+}
+
+func (p *CtorPolicy) Rates(t bw.Tick) []bw.Rate {
+	return p.cur
+}
+
+// NotAnAllocator has a bw.Rate field but no Rate/Rates method: the
+// invariant does not apply.
+type NotAnAllocator struct {
+	cur bw.Rate
+}
+
+func (n *NotAnAllocator) Set(r bw.Rate) {
+	n.cur = r
+}

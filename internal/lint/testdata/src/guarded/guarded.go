@@ -1,0 +1,52 @@
+// Package guarded is golden-test input for the guarded-by check:
+// annotated fields accessed with and without their mutex held.
+package guarded
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	m  int // guarded by missing; want "no sync.Mutex/RWMutex field of that name"
+}
+
+// Bad reads the guarded field without locking.
+func (c *counter) Bad() int {
+	return c.n // want "neither locks c.mu nor declares it held"
+}
+
+// Good locks before reading.
+func (c *counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// bump must hold c.mu: the precondition doc exempts it.
+func (c *counter) bump() {
+	c.n++
+}
+
+// newCounter touches the field before the value is shared — the
+// constructor exemption.
+func newCounter() *counter {
+	c := &counter{}
+	c.n = 1
+	return c
+}
+
+// rwBox uses an RWMutex; RLock also counts as holding the lock.
+type rwBox struct {
+	mu sync.RWMutex
+	v  int // guarded by mu
+}
+
+func (b *rwBox) Read() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.v
+}
+
+func (b *rwBox) Sneak() int {
+	return b.v // want "neither locks b.mu nor declares it held"
+}

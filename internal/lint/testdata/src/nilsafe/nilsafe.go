@@ -1,0 +1,56 @@
+// Package nilsafe is golden-test input for the nil-safe check: types
+// documented as nil-receiver-safe whose exported methods must begin
+// with a nil guard.
+package nilsafe
+
+// Meter is a sample counter. The nil *Meter is a valid no-op.
+type Meter struct {
+	n int64
+}
+
+// Bad relies on luck instead of a guard.
+func (m *Meter) Bad() { // want "does not begin with an `if m == nil` guard"
+	m.n++
+}
+
+// Good guards first.
+func (m *Meter) Good() {
+	if m == nil {
+		return
+	}
+	m.n++
+}
+
+// Add guards inside a compound condition, which also counts.
+func (m *Meter) Add(n int64) {
+	if m == nil || n <= 0 {
+		return
+	}
+	m.n += n
+}
+
+// reset is unexported: the contract covers the exported API only.
+func (m *Meter) reset() {
+	m.n = 0
+}
+
+// Probe is nil-receiver-safe.
+type Probe struct {
+	v int64
+}
+
+// Value has a value receiver, which dereferences before any guard could
+// run.
+func (p Probe) Value() int64 { // want "value receiver"
+	return p.v
+}
+
+// Plain has no nil-safety claim, so its methods are unconstrained.
+type Plain struct {
+	n int64
+}
+
+// Touch needs no guard.
+func (p *Plain) Touch() {
+	p.n++
+}

@@ -1,0 +1,60 @@
+// Package units is golden-test input for the unit-hygiene check: raw
+// crossings of the bw.Rate / bw.Bits / bw.Tick aliases versus code that
+// goes through the units.go helpers.
+package units
+
+import "dynbw/internal/bw"
+
+// mix compares a backlog to a bandwidth.
+func mix(q bw.Bits, r bw.Rate) bool {
+	return q > r // want "mixes units"
+}
+
+// rawVolume spells rate × ticks by hand.
+func rawVolume(r bw.Rate, d bw.Tick) bw.Bits {
+	return r * d // want "bw.Volume"
+}
+
+// rawRate spells the bits-over-ticks crossing through CeilDiv.
+func rawRate(q bw.Bits, d bw.Tick) bw.Rate {
+	return bw.CeilDiv(q, d) // want "bw.RateOver"
+}
+
+// rawQuotient divides the aliases directly.
+func rawQuotient(q bw.Bits, d bw.Tick) bw.Rate {
+	return q / d // want "bw.RateOver"
+}
+
+// badAssign stores a rate in a bits variable.
+func badAssign(r bw.Rate) bw.Bits {
+	var q bw.Bits
+	q = r // want "assigning bw.Rate to bw.Bits"
+	return q
+}
+
+// takeRate anchors the call-argument check.
+func takeRate(r bw.Rate) bw.Rate { return r }
+
+// badCall passes bits where a rate is declared.
+func badCall(q bw.Bits) bw.Rate {
+	return takeRate(q) // want "declared bw.Rate but receives bw.Bits"
+}
+
+// clean crosses every boundary through the helpers; inferred units
+// propagate through := and remain consistent.
+func clean(r bw.Rate, d bw.Tick, q bw.Bits) bw.Rate {
+	v := bw.Volume(r, d)
+	if q > v {
+		q = v
+	}
+	need := bw.RateOver(q, d)
+	if need > r {
+		return need
+	}
+	return r
+}
+
+// unitless arithmetic with untyped constants never produces findings.
+func scaled(r bw.Rate) bw.Rate {
+	return 2*r + 1
+}

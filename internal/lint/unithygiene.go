@@ -1,0 +1,426 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// UnitHygiene machine-checks the bw unit discipline. The model's three
+// quantities — Rate (bits per tick), Bits and Tick — are int64 *aliases*
+// (internal/bw), so the compiler erases them and nothing stops code from
+// comparing a queue length to a bandwidth or multiplying the wrong pair.
+// Every such silent crossing skews the delay/utilization accounting the
+// competitive-ratio experiments report.
+//
+// The check infers a unit for expressions from declared types (struct
+// fields, parameters, results, typed vars, := from a known unit) and
+// flags, outside internal/bw itself:
+//
+//   - comparisons, additions, subtractions and assignments mixing two
+//     different known units;
+//   - rate × tick products spelled as raw multiplication — the bits
+//     moved over an interval must be bw.Volume(rate, ticks);
+//   - bits ÷ tick quotients, raw or via bw.CeilDiv — the rate that
+//     moves a backlog in an interval must be bw.RateOver(bits, ticks);
+//   - calls passing an argument whose known unit differs from the
+//     parameter's declared unit.
+//
+// The inference is deliberately conservative: untyped constants and
+// expressions it cannot resolve have no unit and never produce a
+// finding.
+type UnitHygiene struct {
+	// Skip selects packages exempt from the check (the unit-defining
+	// package itself).
+	Skip func(importPath string) bool
+}
+
+// NewUnitHygiene returns the check with its default scope.
+func NewUnitHygiene() *UnitHygiene {
+	return &UnitHygiene{Skip: func(path string) bool {
+		return strings.HasSuffix(path, "internal/bw")
+	}}
+}
+
+// Name implements Check.
+func (*UnitHygiene) Name() string { return "unit-hygiene" }
+
+// Doc implements Check.
+func (*UnitHygiene) Doc() string {
+	return "bw.Rate/Bits/Tick crossings must use the units.go helpers (bw.Volume, bw.RateOver)"
+}
+
+// unit is an inferred physical dimension.
+type unit int8
+
+const (
+	unitNone unit = iota
+	unitRate
+	unitBits
+	unitTick
+)
+
+func (u unit) String() string {
+	switch u {
+	case unitRate:
+		return "bw.Rate"
+	case unitBits:
+		return "bw.Bits"
+	case unitTick:
+		return "bw.Tick"
+	}
+	return "unitless"
+}
+
+// unitVal is a unit, possibly one element-deep inside a slice.
+type unitVal struct {
+	u     unit
+	slice bool
+}
+
+// funcUnits records a function signature's declared units.
+type funcUnits struct {
+	params   []unitVal
+	variadic bool
+	result   unitVal
+}
+
+// unitEnv is the program-wide inference state.
+type unitEnv struct {
+	info  *types.Info // current package's info during the walk
+	objs  map[types.Object]unitVal
+	funcs map[types.Object]funcUnits
+}
+
+// Run implements Check.
+func (c *UnitHygiene) Run(prog *Program, report Reporter) {
+	env := &unitEnv{
+		objs:  map[types.Object]unitVal{},
+		funcs: map[types.Object]funcUnits{},
+	}
+	// Pass A: record declared units across every loaded module package,
+	// so selectors and calls into dependencies resolve.
+	for _, pkg := range prog.All {
+		env.info = pkg.Info
+		for _, f := range pkg.Files {
+			env.collectDecls(f)
+		}
+	}
+	// Pass B: walk the linted packages.
+	for _, pkg := range prog.Pkgs {
+		if c.Skip(pkg.ImportPath) {
+			continue
+		}
+		env.info = pkg.Info
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					env.checkBody(fd.Body, report)
+				}
+			}
+		}
+	}
+}
+
+// unitForTypeExpr maps a declared type's spelling to a unit.
+func unitForTypeExpr(e ast.Expr) unitVal {
+	s := types.ExprString(e)
+	slice := false
+	if rest, ok := strings.CutPrefix(s, "[]"); ok {
+		slice = true
+		s = rest
+	}
+	switch s {
+	case "bw.Rate", "Rate":
+		return unitVal{unitRate, slice}
+	case "bw.Bits", "Bits":
+		return unitVal{unitBits, slice}
+	case "bw.Tick", "Tick":
+		return unitVal{unitTick, slice}
+	}
+	return unitVal{}
+}
+
+// collectDecls records units for struct fields, vars, parameters and
+// results declared in one file.
+func (e *unitEnv) collectDecls(f *ast.File) {
+	// Only bw-importing files (or bw itself) can spell the unit types.
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch d := n.(type) {
+		case *ast.StructType:
+			for _, fld := range d.Fields.List {
+				e.recordNames(fld.Names, unitForTypeExpr(fld.Type))
+			}
+		case *ast.ValueSpec:
+			if d.Type != nil {
+				e.recordNames(d.Names, unitForTypeExpr(d.Type))
+			}
+		case *ast.FuncDecl:
+			e.recordFunc(d)
+		case *ast.FuncLit:
+			e.recordFieldList(d.Type.Params)
+		}
+		return true
+	})
+}
+
+func (e *unitEnv) recordNames(names []*ast.Ident, uv unitVal) {
+	if uv.u == unitNone {
+		return
+	}
+	for _, name := range names {
+		if obj := e.info.Defs[name]; obj != nil {
+			e.objs[obj] = uv
+		}
+	}
+}
+
+func (e *unitEnv) recordFieldList(fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	for _, fld := range fl.List {
+		t := fld.Type
+		if el, ok := t.(*ast.Ellipsis); ok {
+			t = el.Elt
+		}
+		e.recordNames(fld.Names, unitForTypeExpr(t))
+	}
+}
+
+// recordFunc stores parameter and result units for a function object.
+func (e *unitEnv) recordFunc(fd *ast.FuncDecl) {
+	e.recordFieldList(fd.Type.Params)
+	e.recordFieldList(fd.Type.Results)
+	obj := e.info.Defs[fd.Name]
+	if obj == nil {
+		return
+	}
+	var fu funcUnits
+	if fd.Type.Params != nil {
+		for _, fld := range fd.Type.Params.List {
+			t := fld.Type
+			if el, ok := t.(*ast.Ellipsis); ok {
+				t = el.Elt
+				fu.variadic = true
+			}
+			uv := unitForTypeExpr(t)
+			n := len(fld.Names)
+			if n == 0 {
+				n = 1
+			}
+			for i := 0; i < n; i++ {
+				fu.params = append(fu.params, uv)
+			}
+		}
+	}
+	if res := fd.Type.Results; res != nil && len(res.List) == 1 && len(res.List[0].Names) <= 1 {
+		fu.result = unitForTypeExpr(res.List[0].Type)
+	}
+	e.funcs[obj] = fu
+}
+
+// checkBody walks one function body reporting unit violations.
+func (e *unitEnv) checkBody(body *ast.BlockStmt, report Reporter) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			e.checkAssign(st, report)
+		case *ast.BinaryExpr:
+			e.checkBinary(st, report)
+		case *ast.CallExpr:
+			e.checkCall(st, report)
+		}
+		return true
+	})
+}
+
+func (e *unitEnv) checkAssign(st *ast.AssignStmt, report Reporter) {
+	if len(st.Lhs) != len(st.Rhs) {
+		return
+	}
+	for i, lhs := range st.Lhs {
+		rhs := st.Rhs[i]
+		ru := e.exprUnit(rhs)
+		if st.Tok == token.DEFINE {
+			// Propagate inferred units into := locals.
+			if id, ok := lhs.(*ast.Ident); ok && ru.u != unitNone {
+				if obj := e.info.Defs[id]; obj != nil {
+					e.objs[obj] = ru
+				}
+			}
+			continue
+		}
+		lu := e.exprUnit(lhs)
+		if lu.u != unitNone && ru.u != unitNone && !lu.slice && !ru.slice && lu.u != ru.u {
+			report(st.Pos(), "assigning %s to %s mixes units; convert through a bw units.go helper", ru.u, lu.u)
+		}
+	}
+}
+
+func (e *unitEnv) checkBinary(be *ast.BinaryExpr, report Reporter) {
+	x, y := e.exprUnit(be.X), e.exprUnit(be.Y)
+	if x.slice || y.slice {
+		return
+	}
+	switch be.Op {
+	case token.EQL, token.NEQ, token.LSS, token.LEQ, token.GTR, token.GEQ, token.ADD, token.SUB:
+		if x.u != unitNone && y.u != unitNone && x.u != y.u {
+			report(be.Pos(), "%s %s %s mixes units; cross through a bw units.go helper (bw.Volume, bw.RateOver)",
+				x.u, be.Op, y.u)
+		}
+	case token.MUL:
+		if x.u == unitRate && y.u == unitTick || x.u == unitTick && y.u == unitRate {
+			report(be.Pos(), "raw rate × ticks product; the bits moved over an interval is bw.Volume(rate, ticks)")
+		}
+	case token.QUO:
+		if x.u == unitBits && y.u == unitTick {
+			report(be.Pos(), "raw bits ÷ ticks quotient; the draining rate is bw.RateOver(bits, ticks)")
+		}
+	}
+}
+
+func (e *unitEnv) checkCall(call *ast.CallExpr, report Reporter) {
+	obj := e.calleeObject(call)
+	if obj == nil {
+		return
+	}
+	// bw.CeilDiv(bits, ticks) is the unit crossing RateOver names.
+	if obj.Name() == "CeilDiv" && obj.Pkg() != nil && strings.HasSuffix(obj.Pkg().Path(), "internal/bw") &&
+		len(call.Args) == 2 {
+		if e.exprUnit(call.Args[0]).u == unitBits && e.exprUnit(call.Args[1]).u == unitTick {
+			report(call.Pos(), "bw.CeilDiv on bits and ticks; the draining rate is bw.RateOver(bits, ticks)")
+			return
+		}
+	}
+	fu, ok := e.funcs[obj]
+	if !ok || fu.variadic || len(fu.params) != len(call.Args) {
+		return
+	}
+	for i, arg := range call.Args {
+		want := fu.params[i]
+		got := e.exprUnit(arg)
+		if want.u != unitNone && got.u != unitNone && want.slice == got.slice && want.u != got.u {
+			report(arg.Pos(), "argument %d of %s is declared %s but receives %s", i+1, obj.Name(), want.u, got.u)
+		}
+	}
+}
+
+// calleeObject resolves the called function's object (nil for builtins,
+// type conversions and dynamic calls).
+func (e *unitEnv) calleeObject(call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if obj := e.info.Uses[fn]; obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	case *ast.SelectorExpr:
+		if obj := selectedObject(e.info, fn); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return obj
+			}
+		}
+	}
+	return nil
+}
+
+// exprUnit infers an expression's unit, unitNone when unknown.
+func (e *unitEnv) exprUnit(expr ast.Expr) unitVal {
+	switch x := expr.(type) {
+	case *ast.Ident:
+		if obj := e.info.Uses[x]; obj != nil {
+			return e.objs[obj]
+		}
+		if obj := e.info.Defs[x]; obj != nil {
+			return e.objs[obj]
+		}
+	case *ast.SelectorExpr:
+		if obj := selectedObject(e.info, x); obj != nil {
+			return e.objs[obj]
+		}
+	case *ast.ParenExpr:
+		return e.exprUnit(x.X)
+	case *ast.UnaryExpr:
+		return e.exprUnit(x.X)
+	case *ast.IndexExpr:
+		if uv := e.exprUnit(x.X); uv.slice {
+			return unitVal{uv.u, false}
+		}
+	case *ast.CallExpr:
+		return e.callUnit(x)
+	case *ast.BinaryExpr:
+		return e.binaryUnit(x)
+	}
+	return unitVal{}
+}
+
+// callUnit infers the unit of a call result: declared result units,
+// unit-type conversions, and make of a unit slice.
+func (e *unitEnv) callUnit(call *ast.CallExpr) unitVal {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn.Name == "make" && len(call.Args) >= 1 {
+			return unitForTypeExpr(call.Args[0])
+		}
+		if obj := e.info.Uses[fn]; obj != nil {
+			if _, ok := obj.(*types.TypeName); ok {
+				return unitForTypeExpr(fn)
+			}
+			return e.funcs[obj].result
+		}
+	case *ast.SelectorExpr:
+		obj := selectedObject(e.info, fn)
+		if obj == nil {
+			return unitVal{}
+		}
+		if _, ok := obj.(*types.TypeName); ok {
+			return unitForTypeExpr(fn)
+		}
+		return e.funcs[obj].result
+	}
+	return unitVal{}
+}
+
+// binaryUnit propagates units through arithmetic so larger expressions
+// stay checkable: same-unit ± keeps the unit, rate×tick and tick×rate
+// make bits, bits÷tick makes a rate, and an operand without a unit
+// (untyped constant) is transparent.
+func (e *unitEnv) binaryUnit(be *ast.BinaryExpr) unitVal {
+	x, y := e.exprUnit(be.X), e.exprUnit(be.Y)
+	if x.slice || y.slice {
+		return unitVal{}
+	}
+	switch be.Op {
+	case token.ADD, token.SUB:
+		if x.u == y.u {
+			return unitVal{x.u, false}
+		}
+		if x.u == unitNone {
+			return unitVal{y.u, false}
+		}
+		if y.u == unitNone {
+			return unitVal{x.u, false}
+		}
+	case token.MUL:
+		if x.u == unitRate && y.u == unitTick || x.u == unitTick && y.u == unitRate {
+			return unitVal{unitBits, false}
+		}
+		if x.u == unitNone {
+			return unitVal{y.u, false}
+		}
+		if y.u == unitNone {
+			return unitVal{x.u, false}
+		}
+	case token.QUO:
+		if x.u == unitBits && y.u == unitTick {
+			return unitVal{unitRate, false}
+		}
+		if y.u == unitNone {
+			return unitVal{x.u, false}
+		}
+	}
+	return unitVal{}
+}

@@ -97,11 +97,12 @@ type Observable interface {
 
 // Ring is a fixed-size ring buffer of events — the standard Observer.
 // When full, the oldest events are overwritten; Seq stays globally
-// monotone so a dump shows how many were dropped.
+// monotone so a dump shows how many were dropped. The nil *Ring is a
+// valid no-op, so tracing can be left unconfigured.
 type Ring struct {
 	mu    sync.Mutex
-	buf   []Event
-	total uint64
+	buf   []Event // guarded by mu
+	total uint64  // guarded by mu
 }
 
 // DefaultRingSize is the event capacity used when NewRing is given a
@@ -166,6 +167,9 @@ func (r *Ring) Snapshot() []Event {
 // WriteJSONL dumps the retained events as one JSON object per line,
 // oldest first.
 func (r *Ring) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
 	enc := json.NewEncoder(w)
 	for _, e := range r.Snapshot() {
 		if err := enc.Encode(e); err != nil {

@@ -18,8 +18,8 @@ type RateLimited struct {
 	every time.Duration
 
 	mu         sync.Mutex
-	last       map[string]time.Time
-	suppressed map[string]int
+	last       map[string]time.Time // guarded by mu
+	suppressed map[string]int       // guarded by mu
 }
 
 // NewRateLimited wraps log, emitting at most one record per key per

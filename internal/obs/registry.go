@@ -39,7 +39,12 @@ type Counter struct {
 }
 
 // Inc adds one.
-func (c *Counter) Inc() { c.Add(1) }
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.Add(1)
+}
 
 // Add adds n (negative deltas are ignored: counters only go up).
 func (c *Counter) Add(n int64) {
@@ -93,7 +98,7 @@ func (g *Gauge) Value() int64 {
 // valid no-op.
 type LiveHistogram struct {
 	mu sync.Mutex
-	h  metrics.Histogram
+	h  metrics.Histogram // guarded by mu
 }
 
 // Observe records one sample.
@@ -136,10 +141,12 @@ type family struct {
 
 // Registry holds metric families and renders them in the Prometheus text
 // exposition format. Registration is idempotent: asking for the same
-// name + label set returns the existing instrument.
+// name + label set returns the existing instrument. The nil *Registry is
+// a valid no-op: every method returns a nil (no-op) instrument or does
+// nothing.
 type Registry struct {
 	mu       sync.Mutex
-	families map[string]*family
+	families map[string]*family // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -149,7 +156,8 @@ func NewRegistry() *Registry {
 
 // get returns the family, creating it with the given type on first use.
 // A type clash on an existing name panics: it is a programming error
-// that would silently corrupt the exposition otherwise.
+// that would silently corrupt the exposition otherwise. Callers must
+// hold r.mu.
 func (r *Registry) get(name, help, typ string) *family {
 	f, ok := r.families[name]
 	if !ok {

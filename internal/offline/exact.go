@@ -118,7 +118,7 @@ func runSegments(tr *trace.Trace, p Params, segs [][2]bw.Tick, zeroFirst bool) (
 		var due bw.Bits
 		for _, c := range carry {
 			due += c.bits
-			if c.deadline < end || due > rate*(c.deadline-end+1) {
+			if c.deadline < end || due > bw.Volume(rate, c.deadline-end+1) {
 				return 0, false
 			}
 		}
@@ -147,7 +147,7 @@ func rateIntervalFor(tr *trace.Trace, p Params, s, end bw.Tick, carry []chunk, p
 			return 0, 0, false
 		}
 		if c.deadline < end {
-			if need := bw.CeilDiv(due, c.deadline-s+1); need > lo {
+			if need := bw.RateOver(due, c.deadline-s+1); need > lo {
 				lo = need
 			}
 		}
@@ -163,7 +163,7 @@ func rateIntervalFor(tr *trace.Trace, p Params, s, end bw.Tick, carry []chunk, p
 				if a == s {
 					in += carryTotal
 				}
-				if need := bw.CeilDiv(in, d-a+1); need > lo {
+				if need := bw.RateOver(in, d-a+1); need > lo {
 					lo = need
 				}
 			}

@@ -131,7 +131,7 @@ func planSegment(tr *trace.Trace, p Params, s bw.Tick, carry []chunk, priorAlloc
 			return 0, 0, false, fmt.Errorf("%w: carried deadline %d already passed at tick %d",
 				ErrInfeasible, c.deadline, s)
 		}
-		if need := bw.CeilDiv(due, c.deadline-s+1); need > lo {
+		if need := bw.RateOver(due, c.deadline-s+1); need > lo {
 			lo = need
 		}
 	}
@@ -144,7 +144,7 @@ func planSegment(tr *trace.Trace, p Params, s bw.Tick, carry []chunk, priorAlloc
 			newLo = wl
 		}
 		// Deadline t+D covers the carry plus everything arrived so far.
-		if need := bw.CeilDiv(carryTotal+tr.Window(s, t+1), t+p.D-s+1); need > newLo {
+		if need := bw.RateOver(carryTotal+tr.Window(s, t+1), t+p.D-s+1); need > newLo {
 			newLo = need
 		}
 		newHi := hi

@@ -142,7 +142,7 @@ func (q *FIFO) DelayQuantile(p float64) bw.Tick {
 // DrainAll removes every queued bit at tick t (used by tests and by
 // teardown paths); delays are recorded as usual.
 func (q *FIFO) DrainAll(t bw.Tick) bw.Bits {
-	return q.Serve(t, q.bits)
+	return q.Serve(t, bw.RateOver(q.bits, 1))
 }
 
 // TransferTo moves all queued bits to dst, preserving their original

@@ -47,7 +47,7 @@ func QueueOccupancy(tr *trace.Trace, s *bw.Schedule, bucket bw.Tick) []Point {
 	var q bw.Bits
 	for t := bw.Tick(0); t < n; t++ {
 		q += tr.At(t)
-		served := s.At(t)
+		served := bw.Volume(s.At(t), 1)
 		if served > q {
 			served = q
 		}
@@ -130,5 +130,5 @@ func ceilMean(sum bw.Bits, ticks bw.Tick) int64 {
 	if ticks <= 0 {
 		return 0
 	}
-	return bw.CeilDiv(sum, ticks)
+	return bw.RateOver(sum, ticks)
 }

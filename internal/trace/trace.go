@@ -111,7 +111,7 @@ func (tr *Trace) PeakRate(w bw.Tick) bw.Rate {
 			peak = s
 		}
 	}
-	return bw.CeilDiv(peak, w)
+	return bw.RateOver(peak, w)
 }
 
 // Arrivals returns a copy of the per-tick arrival counts.
@@ -190,7 +190,7 @@ func (tr *Trace) MinBandwidthForDelay(d bw.Tick) bw.Rate {
 			if in == 0 {
 				continue
 			}
-			if r := bw.CeilDiv(in, t+d-a+1); r > need {
+			if r := bw.RateOver(in, t+d-a+1); r > need {
 				need = r
 			}
 		}
@@ -255,7 +255,7 @@ func (tr *Trace) SatisfiesClaim9(b bw.Rate, d bw.Tick) bool {
 	n := tr.Len()
 	for t := bw.Tick(0); t < n; t++ {
 		for u := t + 1; u <= n; u++ {
-			if tr.Window(t, u) > (u-t+d)*b {
+			if tr.Window(t, u) > bw.Volume(b, u-t+d) {
 				return false
 			}
 		}

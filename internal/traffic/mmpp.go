@@ -87,7 +87,7 @@ func (g SelfSimilar) Generate(n bw.Tick) *trace.Trace {
 			}
 			for j := bw.Tick(0); j < period && t < n; j++ {
 				if on {
-					arrivals[t] += g.PeakRate
+					arrivals[t] += bw.Volume(g.PeakRate, 1)
 				}
 				t++
 			}

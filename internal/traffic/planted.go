@@ -129,7 +129,7 @@ func NewPlanted(p PlantedParams) (*Planted, error) {
 			// Alternate base+d, base-d without ever exceeding rates[i],
 			// so the planted schedule serves every tick's arrivals in the
 			// same tick (delay 0).
-			d := bw.Min(base, rates[i]-base)
+			d := bw.Min(base, bw.Volume(rates[i], 1)-base)
 			for t := start; t < start+p.PhaseLen; t++ {
 				a := base
 				if d > 0 {

@@ -39,7 +39,7 @@ var _ Generator = CBR{}
 func (g CBR) Generate(n bw.Tick) *trace.Trace {
 	arrivals := make([]bw.Bits, n)
 	for i := range arrivals {
-		arrivals[i] = g.Rate
+		arrivals[i] = bw.Volume(g.Rate, 1)
 	}
 	return trace.MustNew(arrivals)
 }
@@ -70,7 +70,7 @@ func (g OnOff) Generate(n bw.Tick) *trace.Trace {
 		}
 		for j := bw.Tick(0); j < period && i < n; j++ {
 			if on {
-				arrivals[i] = g.PeakRate
+				arrivals[i] = bw.Volume(g.PeakRate, 1)
 			}
 			i++
 		}
@@ -97,7 +97,7 @@ func (g Spike) Generate(n bw.Tick) *trace.Trace {
 	src := rng.New(g.Seed)
 	arrivals := make([]bw.Bits, n)
 	for i := range arrivals {
-		arrivals[i] = g.Base
+		arrivals[i] = bw.Volume(g.Base, 1)
 		if src.Bool(g.SpikeProb) {
 			arrivals[i] += g.SpikeBits
 		}
@@ -139,9 +139,9 @@ func (g ParetoBurst) Generate(n bw.Tick) *trace.Trace {
 			break
 		}
 		burst := bw.Bits(src.Pareto(g.Alpha, float64(g.MinBurst)))
-		per := bw.CeilDiv(burst, spread)
+		per := bw.RateOver(burst, spread)
 		for j := bw.Tick(0); j < spread && t+j < n && burst > 0; j++ {
-			amt := bw.Min(per, burst)
+			amt := bw.Min(bw.Volume(per, 1), burst)
 			arrivals[t+j] += amt
 			burst -= amt
 		}
@@ -191,19 +191,19 @@ func (g Clamp) Generate(n bw.Tick) *trace.Trace {
 func ClampTrace(tr *trace.Trace, b bw.Rate, d bw.Tick) *trace.Trace {
 	n := tr.Len()
 	arrivals := make([]bw.Bits, n)
-	budget := b * d // E(t) <= b*d keeps every deadline satisfiable
+	budget := bw.Volume(b, d) // E(t) <= b*d keeps every deadline satisfiable
 	var excess bw.Bits
 	for t := bw.Tick(0); t < n; t++ {
 		if excess < 0 {
 			excess = 0
 		}
-		allowed := budget + b - excess
+		allowed := budget + bw.Volume(b, 1) - excess
 		a := tr.At(t)
 		if a > allowed {
 			a = allowed
 		}
 		arrivals[t] = a
-		excess += a - b
+		excess += a - bw.Volume(b, 1)
 	}
 	return trace.MustNew(arrivals)
 }

@@ -79,9 +79,9 @@ func (g SquareWave) Generate(n bw.Tick) *trace.Trace {
 	arrivals := make([]bw.Bits, n)
 	for t := bw.Tick(0); t < n; t++ {
 		if (t/g.HalfPeriod)%2 == 0 {
-			arrivals[t] = g.LowRate
+			arrivals[t] = bw.Volume(g.LowRate, 1)
 		} else {
-			arrivals[t] = g.HighRate
+			arrivals[t] = bw.Volume(g.HighRate, 1)
 		}
 	}
 	return trace.MustNew(arrivals)
@@ -110,7 +110,7 @@ func (g DoublingDemand) Generate(n bw.Tick) *trace.Trace {
 				rate = g.StartRate
 			}
 		}
-		arrivals[t] = rate
+		arrivals[t] = bw.Volume(rate, 1)
 	}
 	return trace.MustNew(arrivals)
 }
