@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench fuzz load experiments examples cover clean
+.PHONY: all build test lint race bench bench-all fuzz load experiments examples cover clean
 
 all: build lint test
 
@@ -21,7 +21,16 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Run the root benchmark suite at a fixed benchtime and record parsed
+# ns/op, B/op, allocs/op and rows/op in BENCH_<PR>.json for regression
+# tracking across PRs. BENCH_PR picks the artifact suffix; -short keeps
+# the wall-clock TCP soak out of the tracked numbers.
+BENCH_PR ?= 5
 bench:
+	$(GO) run ./cmd/bwbench -benchjson BENCH_$(BENCH_PR).json -benchtime 200ms -short
+
+# The old behaviour (every package's benchmarks, no artifact).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzzing pass over every parser/decoder.

@@ -62,8 +62,14 @@ func BenchmarkSlackSweep(b *testing.B)               { benchExperiment(b, "E20")
 // BenchmarkSoakGateway drives the live-path soak (E21): real gateways,
 // real TCP clients, wall-clock ticks. Unlike the experiments above its
 // rows are timing-dependent; the benchmark pins down throughput of the
-// whole serving stack rather than of a simulation.
-func BenchmarkSoakGateway(b *testing.B) { benchExperiment(b, "E21") }
+// whole serving stack rather than of a simulation. It is skipped under
+// -short so CI's benchmark smoke job stays off the network and fast.
+func BenchmarkSoakGateway(b *testing.B) {
+	if testing.Short() {
+		b.Skip("wall-clock TCP soak; skipped under -short")
+	}
+	benchExperiment(b, "E21")
+}
 
 // --- micro-benchmarks of the building blocks ---
 
@@ -115,17 +121,69 @@ func BenchmarkOfflineGreedy(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorRun measures end-to-end single-session simulation
-// throughput (ticks/op reported via the fixed 4096-tick trace).
+// BenchmarkSimulatorRun measures end-to-end single-session simulation on
+// the fixed 4096-tick trace: a fresh policy per run (as the sweeps
+// construct them) but with the simulator storage amortized by a Runner.
 func BenchmarkSimulatorRun(b *testing.B) {
 	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
 	g := traffic.ParetoBurst{Seed: 3, Alpha: 1.5, MinBurst: 256, MeanGap: 16, SpreadTicks: 2}
 	tr := traffic.ClampTrace(g.Generate(4096), p.BA, p.DO)
+	r := sim.NewRunner()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sim.Run(tr, core.MustNewSingleSession(p), sim.Options{}); err != nil {
+		if _, err := r.Run(tr, core.MustNewSingleSession(p), sim.Options{}); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunnerReuse is the Runner's steady state: simulator storage
+// AND the session policy both reused via Reset. Target: zero allocations
+// per run.
+func BenchmarkRunnerReuse(b *testing.B) {
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	g := traffic.ParetoBurst{Seed: 3, Alpha: 1.5, MinBurst: 256, MeanGap: 16, SpreadTicks: 2}
+	tr := traffic.ClampTrace(g.Generate(4096), p.BA, p.DO)
+	r := sim.NewRunner()
+	alg := core.MustNewSingleSession(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		alg.Reset()
+		if _, err := r.Run(tr, alg, sim.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleScan measures a full sequential read of a recorded
+// schedule — per-tick rate plus a sliding 16-tick window integral, the
+// access pattern of metrics.BuildReport and the utilization scans — via
+// the amortized-O(1) cursor.
+func BenchmarkScheduleScan(b *testing.B) {
+	p := core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16}
+	g := traffic.ParetoBurst{Seed: 3, Alpha: 1.5, MinBurst: 256, MeanGap: 16, SpreadTicks: 2}
+	tr := traffic.ClampTrace(g.Generate(4096), p.BA, p.DO)
+	res, err := sim.Run(tr, core.MustNewSingleSession(p), sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sched := res.Schedule
+	n := sched.Len()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cur := sched.Cursor()
+		var acc bw.Bits
+		for t := bw.Tick(0); t < n; t++ {
+			acc += bw.Bits(cur.At(t))
+			if t >= 16 {
+				acc += cur.Integral(t-16, t)
+			}
+		}
+		if acc == 0 {
+			b.Fatal("scan accumulated nothing")
 		}
 	}
 }

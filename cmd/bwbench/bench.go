@@ -1,0 +1,168 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// BenchResult is one parsed line of `go test -bench` output. The three
+// headline metrics get dedicated fields (they are what BENCH_<n>.json
+// diffs track across PRs); anything else a benchmark reports lands in
+// Extra keyed by its unit.
+type BenchResult struct {
+	// Name is the benchmark name with the -<cpus> suffix stripped.
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp come from -benchmem; RowsPerOp from the
+	// experiment benchmarks' ReportMetric. Negative means not reported.
+	BytesPerOp  float64            `json:"bytes_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	RowsPerOp   float64            `json:"rows_per_op,omitempty"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+// benchDoc is the BENCH_<n>.json schema: enough environment to interpret
+// the numbers, then one entry per benchmark.
+type benchDoc struct {
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Benchtime  string        `json:"benchtime"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkSimulatorRun-8   3040   388123 ns/op   200280 B/op   1641 allocs/op
+//
+// and returns ok=false for non-benchmark lines (PASS, ok, headers).
+func parseBenchLine(line string) (BenchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return BenchResult{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return BenchResult{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	r := BenchResult{Name: name, Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	// The remainder is (value, unit) pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return BenchResult{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		case "rows/op":
+			r.RowsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = v
+		}
+	}
+	return r, true
+}
+
+// parseBenchOutput extracts every benchmark result from a `go test
+// -bench` run's combined output.
+func parseBenchOutput(r io.Reader) ([]BenchResult, error) {
+	var out []BenchResult
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		if res, ok := parseBenchLine(sc.Text()); ok {
+			out = append(out, res)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("scan bench output: %w", err)
+	}
+	return out, nil
+}
+
+// moduleRoot locates the directory holding go.mod, so the bench run
+// works no matter where bwbench is invoked from.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module")
+	}
+	return filepath.Dir(gomod), nil
+}
+
+// runBenchJSON runs the root benchmark suite (`go test -bench` on the
+// module root package) with a fixed -benchtime, echoes the raw output,
+// and writes the parsed results to jsonPath. -short is forwarded so CI
+// smoke runs can keep the wall-clock soak benchmark out of the loop.
+func runBenchJSON(out io.Writer, jsonPath, benchtime, pattern string, short bool) error {
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem", "-benchtime", benchtime}
+	if short {
+		args = append(args, "-short")
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var buf strings.Builder
+	cmd.Stdout = io.MultiWriter(out, &buf)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench: %w", err)
+	}
+	results, err := parseBenchOutput(strings.NewReader(buf.String()))
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", pattern)
+	}
+	doc := benchDoc{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  benchtime,
+		Benchmarks: results,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("marshal bench doc: %w", err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return fmt.Errorf("write %s: %w", jsonPath, err)
+	}
+	fmt.Fprintf(out, "wrote %d benchmark results to %s\n", len(results), jsonPath)
+	return nil
+}

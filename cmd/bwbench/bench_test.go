@@ -1,0 +1,82 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkSimulatorRun-8   \t 3040\t    388123 ns/op\t  200280 B/op\t    1641 allocs/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.Name != "BenchmarkSimulatorRun" {
+		t.Errorf("Name = %q", r.Name)
+	}
+	if r.Iterations != 3040 || r.NsPerOp != 388123 || r.BytesPerOp != 200280 || r.AllocsPerOp != 1641 {
+		t.Errorf("parsed %+v", r)
+	}
+}
+
+func TestParseBenchLineRowsAndExtra(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkThm6SweepB 50 123456 ns/op 5.000 rows/op 42.5 widgets/op")
+	if !ok {
+		t.Fatal("line not recognized")
+	}
+	if r.RowsPerOp != 5 {
+		t.Errorf("RowsPerOp = %v", r.RowsPerOp)
+	}
+	if r.Extra["widgets/op"] != 42.5 {
+		t.Errorf("Extra = %v", r.Extra)
+	}
+	if r.BytesPerOp != -1 || r.AllocsPerOp != -1 {
+		t.Errorf("missing -benchmem metrics should be -1, got %+v", r)
+	}
+}
+
+func TestParseBenchLineNoCPUSuffix(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkReuse 100 99 ns/op")
+	if !ok || r.Name != "BenchmarkReuse" {
+		t.Fatalf("parsed %+v ok=%v", r, ok)
+	}
+	// A trailing -word that is not a cpu count stays part of the name.
+	r, ok = parseBenchLine("BenchmarkScan/rev-order-4 100 99 ns/op")
+	if !ok || r.Name != "BenchmarkScan/rev-order" {
+		t.Fatalf("parsed %+v ok=%v", r, ok)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tdynbw\t12.3s",
+		"BenchmarkBroken notanumber 3 ns/op",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q accepted", line)
+		}
+	}
+}
+
+func TestParseBenchOutput(t *testing.T) {
+	out := `goos: linux
+goarch: amd64
+pkg: dynbw
+BenchmarkA-2 100 11 ns/op 3 B/op 1 allocs/op
+BenchmarkB-2 200 22 ns/op 0 B/op 0 allocs/op 7.000 rows/op
+PASS
+ok 	dynbw	1.0s
+`
+	results, err := parseBenchOutput(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("%d results, want 2", len(results))
+	}
+	if results[0].Name != "BenchmarkA" || results[1].RowsPerOp != 7 {
+		t.Errorf("parsed %+v", results)
+	}
+}

@@ -10,6 +10,8 @@
 //	bwbench -live            # include wall-clock experiments in the full run
 //	bwbench -list            # list the experiment registry
 //	bwbench -out results/    # also write results/<ID>.md and .csv
+//	bwbench -j 4             # fan sweep points across 4 workers (same output bytes)
+//	bwbench -benchjson BENCH.json   # run root benchmarks, write parsed JSON
 package main
 
 import (
@@ -41,9 +43,20 @@ func run(args []string, out io.Writer) error {
 		quiet    = fs.Bool("quiet", false, "suppress table output (timings only)")
 		parallel = fs.Bool("parallel", false, "run experiments concurrently (output stays ordered)")
 		live     = fs.Bool("live", false, "also include the wall-clock experiments (E21); their tables vary run to run")
+		workers  = fs.Int("j", 0, "worker goroutines per sweep (0 = GOMAXPROCS); output is identical for every value")
+
+		benchJSON = fs.String("benchjson", "", "run the root benchmark suite and write parsed results to this JSON file")
+		benchTime = fs.String("benchtime", "200ms", "benchtime for -benchjson")
+		benchRe   = fs.String("benchmatch", ".", "benchmark name pattern for -benchjson")
+		short     = fs.Bool("short", false, "pass -short to -benchjson runs (skips the wall-clock soak benchmark)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	harness.SetParallelism(*workers)
+
+	if *benchJSON != "" {
+		return runBenchJSON(out, *benchJSON, *benchTime, *benchRe, *short)
 	}
 
 	all := harness.All()

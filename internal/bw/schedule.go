@@ -70,6 +70,15 @@ func (s *Schedule) appendSeg(t Tick, r Rate) {
 // Len returns the number of ticks recorded.
 func (s *Schedule) Len() Tick { return s.end }
 
+// Reset empties the schedule while keeping the segment and prefix-sum
+// storage, so a Schedule reused across simulation runs (sim.Runner)
+// reaches a steady state of zero allocations per run.
+func (s *Schedule) Reset() {
+	s.segs = s.segs[:0]
+	s.cum = s.cum[:0]
+	s.end = 0
+}
+
 // At returns the rate recorded at tick t. Ticks outside [0, Len()) report 0.
 func (s *Schedule) At(t Tick) Rate {
 	if t < 0 || t >= s.end || len(s.segs) == 0 {
@@ -80,6 +89,81 @@ func (s *Schedule) At(t Tick) Rate {
 		return 0
 	}
 	return s.segs[i].Rate
+}
+
+// Cursor returns a positioned reader over the schedule, for consumers
+// that scan many ticks or windows. Where At and Integral binary-search
+// the segment list on every call (O(log s)), a Cursor remembers the
+// segment it last landed on and steps linearly from there, making any
+// monotone — or merely local — access pattern amortized O(1) per call.
+// All full-scan consumers (metrics window scans, Sum, series extraction,
+// the offline feasibility check) use it.
+//
+// A Cursor reads through the Schedule it came from; it stays valid as
+// long as the schedule is only appended to with Set, and is invalidated
+// by Reset.
+type Cursor struct {
+	s *Schedule
+	i int // index of the segment last landed on; -1 before the first
+}
+
+// Cursor returns a new cursor positioned before the first segment.
+func (s *Schedule) Cursor() Cursor { return Cursor{s: s, i: -1} }
+
+// seek moves c.i to the last segment with Start <= t (-1 when t precedes
+// every segment), stepping from the current position in either direction.
+func (c *Cursor) seek(t Tick) {
+	segs := c.s.segs
+	for c.i+1 < len(segs) && segs[c.i+1].Start <= t {
+		c.i++
+	}
+	for c.i >= 0 && segs[c.i].Start > t {
+		c.i--
+	}
+}
+
+// At returns the rate recorded at tick t, like Schedule.At.
+func (c *Cursor) At(t Tick) Rate {
+	if t < 0 || t >= c.s.end || len(c.s.segs) == 0 {
+		return 0
+	}
+	c.seek(t)
+	if c.i < 0 {
+		return 0
+	}
+	return c.s.segs[c.i].Rate
+}
+
+// Prefix returns the total allocation over [0, t), like the schedule's
+// internal prefix, clamping t to [0, Len()].
+func (c *Cursor) Prefix(t Tick) Bits {
+	if t <= 0 || len(c.s.segs) == 0 {
+		return 0
+	}
+	if t > c.s.end {
+		t = c.s.end
+	}
+	c.seek(t - 1)
+	if c.i < 0 {
+		return 0
+	}
+	seg := c.s.segs[c.i]
+	return c.s.cum[c.i] + seg.Rate*(t-seg.Start)
+}
+
+// Integral returns the total allocation over ticks [a, b), like
+// Schedule.Integral.
+func (c *Cursor) Integral(a, b Tick) Bits {
+	if a < 0 {
+		a = 0
+	}
+	if b > c.s.end {
+		b = c.s.end
+	}
+	if a >= b || len(c.s.segs) == 0 {
+		return 0
+	}
+	return c.Prefix(b) - c.Prefix(a)
 }
 
 // Changes returns the number of allocation changes. Following the paper,
@@ -95,6 +179,21 @@ func (s *Schedule) Changes() int {
 		return n - 1
 	}
 	return n
+}
+
+// Equal reports whether the two schedules assign the same rate to every
+// tick. Segments are stored canonically (one per change point), so this
+// is a direct structural comparison.
+func (s *Schedule) Equal(o *Schedule) bool {
+	if s.end != o.end || len(s.segs) != len(o.segs) {
+		return false
+	}
+	for i, seg := range s.segs {
+		if o.segs[i] != seg {
+			return false
+		}
+	}
+	return true
 }
 
 // Segments returns a copy of the change points.
@@ -162,19 +261,31 @@ func (s *Schedule) Rates() []Rate {
 // longest length, as a fresh Schedule. It is used to aggregate per-session
 // allocations into a total-bandwidth schedule.
 func Sum(scheds ...*Schedule) *Schedule {
+	total := &Schedule{}
+	SumInto(total, scheds...)
+	return total
+}
+
+// SumInto is Sum writing into dst, which is Reset first; its segment
+// storage is reused, so repeated aggregation (the MultiRunner steady
+// state) does not allocate once dst has grown to working size.
+func SumInto(dst *Schedule, scheds ...*Schedule) {
+	dst.Reset()
 	var n Tick
 	for _, sc := range scheds {
 		if sc.Len() > n {
 			n = sc.Len()
 		}
 	}
-	total := &Schedule{}
+	curs := make([]Cursor, len(scheds))
+	for i, sc := range scheds {
+		curs[i] = sc.Cursor()
+	}
 	for t := Tick(0); t < n; t++ {
 		var r Rate
-		for _, sc := range scheds {
-			r += sc.At(t)
+		for i := range curs {
+			r += curs[i].At(t)
 		}
-		total.Set(t, r)
+		dst.Set(t, r)
 	}
-	return total
 }

@@ -205,3 +205,103 @@ func TestScheduleProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCursorMatchesAtAndIntegral(t *testing.T) {
+	// A schedule with irregular segment boundaries, including a leading
+	// implicit-zero segment and repeated rates.
+	rates := []Rate{0, 0, 3, 3, 3, 7, 7, 1, 1, 1, 1, 0, 0, 5, 5, 2}
+	s := buildSchedule(rates)
+
+	// Forward full scan.
+	c := s.Cursor()
+	for i := Tick(-2); i < s.Len()+2; i++ {
+		if got, want := c.At(i), s.At(i); got != want {
+			t.Fatalf("forward Cursor.At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Backward scan with the same cursor (local, non-monotone access).
+	for i := s.Len() + 2; i >= -2; i-- {
+		if got, want := c.At(i), s.At(i); got != want {
+			t.Fatalf("backward Cursor.At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	// Sliding windows of every size, the metrics access pattern.
+	for w := Tick(1); w <= s.Len(); w++ {
+		for a := Tick(0); a+w <= s.Len(); a++ {
+			if got, want := c.Integral(a, a+w), s.Integral(a, a+w); got != want {
+				t.Fatalf("Cursor.Integral(%d, %d) = %d, want %d", a, a+w, got, want)
+			}
+		}
+	}
+	// Prefix at every boundary, including clamping past the end.
+	for i := Tick(-1); i <= s.Len()+3; i++ {
+		if got, want := c.Prefix(i), s.Integral(0, i); got != want {
+			t.Fatalf("Cursor.Prefix(%d) = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestCursorEmptySchedule(t *testing.T) {
+	var s Schedule
+	c := s.Cursor()
+	if c.At(0) != 0 || c.Prefix(5) != 0 || c.Integral(0, 5) != 0 {
+		t.Error("cursor over empty schedule should read 0 everywhere")
+	}
+}
+
+func TestCursorQuick(t *testing.T) {
+	// Property: a cursor driven by an arbitrary query sequence agrees
+	// with the binary-search accessors.
+	f := func(raw []uint8, queries []int8) bool {
+		rates := make([]Rate, len(raw))
+		for i, r := range raw {
+			rates[i] = Rate(r % 8)
+		}
+		s := buildSchedule(rates)
+		c := s.Cursor()
+		for _, q := range queries {
+			tk := Tick(q)
+			if c.At(tk) != s.At(tk) {
+				return false
+			}
+			if c.Prefix(tk) != s.Integral(0, tk) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScheduleReset(t *testing.T) {
+	s := buildSchedule([]Rate{0, 2, 2, 5, 0, 1})
+	s.Reset()
+	if s.Len() != 0 || s.Changes() != 0 || s.At(0) != 0 || s.Integral(0, 10) != 0 {
+		t.Fatalf("Reset schedule not empty: len=%d changes=%d", s.Len(), s.Changes())
+	}
+	// Rebuilding after Reset must produce an identical schedule.
+	rates := []Rate{4, 4, 0, 0, 6, 6, 6, 2}
+	fresh := buildSchedule(rates)
+	for t2, r := range rates {
+		s.Set(Tick(t2), r)
+	}
+	if s.Changes() != fresh.Changes() || s.Len() != fresh.Len() {
+		t.Fatalf("rebuilt schedule differs: changes %d vs %d", s.Changes(), fresh.Changes())
+	}
+	for i := Tick(0); i < fresh.Len(); i++ {
+		if s.At(i) != fresh.At(i) {
+			t.Fatalf("rebuilt At(%d) = %d, want %d", i, s.At(i), fresh.At(i))
+		}
+	}
+}
+
+func TestScheduleResetKeepsCapacity(t *testing.T) {
+	s := buildSchedule([]Rate{1, 2, 3, 4, 5, 6, 7, 8})
+	grown := cap(s.segs)
+	s.Reset()
+	if cap(s.segs) != grown {
+		t.Fatalf("Reset dropped segment capacity: %d, want %d", cap(s.segs), grown)
+	}
+}

@@ -30,6 +30,13 @@ func NewCumHighTracker(warmup bw.Tick, uo float64, cap bw.Rate) *CumHighTracker 
 	return &CumHighTracker{warmup: warmup, uo: uo, cap: cap}
 }
 
+// Reset re-arms the tracker for a fresh stage with the same warm-up,
+// utilization and cap.
+func (ct *CumHighTracker) Reset() {
+	ct.age = 0
+	ct.sum = 0
+}
+
 // Observe records the arrivals of the next stage tick and returns the
 // updated high value.
 func (ct *CumHighTracker) Observe(arrived bw.Bits) bw.Rate {

@@ -38,6 +38,18 @@ func NewHighTracker(w bw.Tick, uo float64, cap bw.Rate) *HighTracker {
 	return &HighTracker{w: w, uo: uo, cap: cap, ring: make([]bw.Bits, w)}
 }
 
+// Reset re-arms the tracker for a fresh stage with the same window,
+// utilization and cap, keeping the ring storage. Stale ring entries need
+// no zeroing: the sliding sum only subtracts entries once count >= w, by
+// which point every slot has been overwritten by the new stage.
+func (ht *HighTracker) Reset() {
+	ht.next = 0
+	ht.count = 0
+	ht.sum = 0
+	ht.minWin = 0
+	ht.haveMin = false
+}
+
 // Observe records the arrivals of the next tick of the stage and returns
 // the updated high value.
 func (ht *HighTracker) Observe(arrived bw.Bits) bw.Rate {

@@ -41,6 +41,18 @@ func NewLowTracker(d bw.Tick) *LowTracker {
 	return &LowTracker{d: d, cum: []bw.Bits{0}}
 }
 
+// Reset re-arms the tracker for a fresh stage with the same delay bound,
+// keeping the cumulative-arrival and hull storage. A reset tracker is
+// indistinguishable from a newly constructed one; reusing it across
+// stages removes the per-stage allocations the simulator hot path
+// otherwise pays (profiling showed them dominating sim.Run).
+func (lt *LowTracker) Reset() {
+	lt.cum = lt.cum[:1]
+	lt.cum[0] = 0
+	lt.hull = lt.hull[:0]
+	lt.low = 0
+}
+
 // Observe records the arrivals of the next tick of the stage and returns
 // the updated low value.
 func (lt *LowTracker) Observe(arrived bw.Bits) bw.Rate {

@@ -82,12 +82,34 @@ func MustNewModifiedSingle(p SingleParams) *ModifiedSingle {
 
 func (s *ModifiedSingle) startStage() {
 	s.inReset = false
-	s.low = NewLowTracker(s.p.DO)
-	s.inStage = NewHighTracker(s.p.W, s.p.UO, s.p.BA)
+	if s.low == nil {
+		s.low = NewLowTracker(s.p.DO)
+	} else {
+		s.low.Reset()
+	}
+	if s.inStage == nil {
+		s.inStage = NewHighTracker(s.p.W, s.p.UO, s.p.BA)
+	} else {
+		s.inStage.Reset()
+	}
 	s.bon = 0
 	s.minWin = 0
 	s.haveMin = false
 	s.stats.Stages++
+}
+
+// Reset returns the policy to its just-constructed state while keeping
+// the tracker and trailing-window storage, mirroring
+// SingleSession.Reset for reuse across simulation runs. The trailing
+// window is cleared too: it deliberately persists across *stages*, but a
+// Reset separates independent runs, between which no window may carry.
+func (s *ModifiedSingle) Reset() {
+	s.emitRate(0, 0, "session-reset")
+	s.stats = SingleStats{}
+	s.next = 0
+	s.count = 0
+	s.sum = 0
+	s.startStage()
 }
 
 // resetRate mirrors SingleSession.resetRate: drain at full speed without

@@ -145,14 +145,38 @@ func MustNewSingleSession(p SingleParams) *SingleSession {
 
 func (s *SingleSession) startStage() {
 	s.inReset = false
-	s.low = NewLowTracker(s.p.DO)
-	if s.globalUtil {
-		s.cum = NewCumHighTracker(s.p.W, s.p.UO, s.p.BA)
+	if s.low == nil {
+		s.low = NewLowTracker(s.p.DO)
 	} else {
-		s.high = NewHighTracker(s.p.W, s.p.UO, s.p.BA)
+		s.low.Reset()
+	}
+	if s.globalUtil {
+		if s.cum == nil {
+			s.cum = NewCumHighTracker(s.p.W, s.p.UO, s.p.BA)
+		} else {
+			s.cum.Reset()
+		}
+	} else {
+		if s.high == nil {
+			s.high = NewHighTracker(s.p.W, s.p.UO, s.p.BA)
+		} else {
+			s.high.Reset()
+		}
 	}
 	s.bon = 0
 	s.stats.Stages++
+}
+
+// Reset returns the policy to its just-constructed state while keeping
+// the tracker storage, so a session reused across simulation runs (the
+// sim.Runner contract) reaches a steady state of zero allocations. If an
+// observer is attached and the last reported rate was nonzero, the
+// teardown is emitted as a renegotiation to zero — releasing the
+// allocation is itself a change in the paper's cost measure.
+func (s *SingleSession) Reset() {
+	s.emitRate(0, 0, "session-reset")
+	s.stats = SingleStats{}
+	s.startStage()
 }
 
 // resetRate is the allocation used during a RESET: enough to drain the

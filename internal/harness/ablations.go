@@ -27,7 +27,10 @@ func GlobalVsLocalUtil() (*Table, error) {
 			"global_util", "flex_util",
 		},
 	}
-	for _, w := range workloadMatrix(p, 2048) {
+	ws := workloadMatrix(p, 2048)
+	err := ParRows(t, len(ws), func(i int) ([][]string, error) {
+		w := ws[i]
+		var rows [][]string
 		for _, v := range []struct {
 			name string
 			mk   func(core.SingleParams) *core.SingleSession
@@ -40,12 +43,16 @@ func GlobalVsLocalUtil() (*Table, error) {
 			if err != nil {
 				return nil, fmt.Errorf("E14 %s/%s: %w", w.Name, v.name, err)
 			}
-			t.AddRow(w.Name, v.name,
+			rows = append(rows, []string{w.Name, v.name,
 				itoa(res.Report.Changes), itoa(int64(alg.Stats().Stages)),
 				itoa(res.Delay.Max), itoa(p.DA()),
 				f3(res.Report.GlobalUtil),
-				f3(metrics.FlexibleUtilizationMin(w.Trace, res.Schedule, 1, p.W+5*p.DO)))
+				f3(metrics.FlexibleUtilizationMin(w.Trace, res.Schedule, 1, p.W+5*p.DO))})
 		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -70,7 +77,9 @@ func QuantizationAblation() (*Table, error) {
 			"pow2_util", "exact_util", "pow2_delay", "exact_delay",
 		},
 	}
-	for _, w := range workloadMatrix(p, 2048) {
+	ws := workloadMatrix(p, 2048)
+	err := ParRows(t, len(ws), func(i int) ([][]string, error) {
+		w := ws[i]
 		quant := core.MustNewSingleSession(p)
 		qRes, err := sim.Run(w.Trace, quant, sim.Options{})
 		if err != nil {
@@ -81,11 +90,14 @@ func QuantizationAblation() (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E15 %s exact: %w", w.Name, err)
 		}
-		t.AddRow(w.Name,
+		return [][]string{{w.Name,
 			itoa(qRes.Report.Changes), itoa(eRes.Report.Changes),
 			f2(ratio(eRes.Report.Changes, qRes.Report.Changes)),
 			f3(qRes.Report.GlobalUtil), f3(eRes.Report.GlobalUtil),
-			itoa(qRes.Delay.Max), itoa(eRes.Delay.Max))
+			itoa(qRes.Delay.Max), itoa(eRes.Delay.Max)}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -28,19 +28,24 @@ func WorkloadCharacterization() (*Table, error) {
 			"workload", "ticks", "total_bits", "peak_to_mean", "idc_16", "acf_1", "hurst",
 		},
 	}
-	for _, w := range workloadMatrix(p, 8192) {
+	ws := workloadMatrix(p, 8192)
+	err := ParRows(t, len(ws), func(i int) ([][]string, error) {
+		w := ws[i]
 		hurst := "n/a"
 		if h, err := stats.Hurst(w.Trace); err == nil {
 			hurst = f2(h)
 		}
-		t.AddRow(w.Name,
+		return [][]string{{w.Name,
 			itoa(w.Trace.Len()),
 			itoa(w.Trace.Total()),
 			f2(stats.PeakToMean(w.Trace)),
 			f2(stats.IndexOfDispersion(w.Trace, 16)),
 			f3(stats.Autocorrelation(w.Trace, 1)),
 			hurst,
-		)
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	if len(t.Rows) == 0 {
 		return nil, fmt.Errorf("E18: empty workload matrix")

@@ -65,7 +65,9 @@ func multiSweep(id, title, note string, bwFactor int64,
 		},
 	}
 	const do = bw.Tick(8)
-	for _, k := range []int{2, 4, 8, 16, 32} {
+	ks := []int{2, 4, 8, 16, 32}
+	err := ParRows(t, len(ks), func(i int) ([][]string, error) {
+		k := ks[i]
 		bo := bw.Rate(16 * k)
 		pl, err := plantedFor(uint64(1000+k), k, bo, do, false)
 		if err != nil {
@@ -82,14 +84,17 @@ func multiSweep(id, title, note string, bwFactor int64,
 		}
 		online := res.SessionChanges()
 		offline := pl.LocalChanges()
-		t.AddRow(
+		return [][]string{{
 			itoa(int64(k)),
 			itoa(online), itoa(offline), f2(ratio(online, offline)),
 			itoa(int64(3*k)),
 			itoa(res.MaxTotalRate()), itoa(bwFactor*bo+bw.Rate(k)),
 			itoa(res.Delay.Max), itoa(p.DA()),
 			itoa(int64(stats().Stages)),
-		)
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

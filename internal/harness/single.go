@@ -30,7 +30,9 @@ func Thm6SweepB() (*Table, error) {
 			"ratio_vs_greedy", "ratio_vs_certLB", "max_delay", "bound_2DO",
 		},
 	}
-	for _, ba := range []bw.Rate{16, 64, 256, 1024, 4096} {
+	bas := []bw.Rate{16, 64, 256, 1024, 4096}
+	err := ParRows(t, len(bas), func(i int) ([][]string, error) {
+		ba := bas[i]
 		p := core.SingleParams{BA: ba, DO: 8, UO: 0.5, W: 16}
 		tr := feasibleBursty(300, p, 2048)
 		alg := core.MustNewSingleSession(p)
@@ -53,13 +55,16 @@ func Thm6SweepB() (*Table, error) {
 		if certLB == 0 {
 			certLB = 1
 		}
-		t.AddRow(
+		return [][]string{{
 			itoa(ba), itoa(int64(p.LogBA())),
 			itoa(res.Report.Changes), itoa(greedy.Changes()), itoa(stageLB), itoa(int64(certLB)),
 			f2(ratio(res.Report.Changes, greedy.Changes())),
 			f2(ratio(res.Report.Changes, certLB)),
 			itoa(res.Delay.Max), itoa(p.DA()),
-		)
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -116,7 +121,9 @@ func Thm7SweepU() (*Table, error) {
 		},
 	}
 	const ba = bw.Rate(1 << 16)
-	for _, uo := range []float64{1.0 / 2, 1.0 / 4, 1.0 / 8, 1.0 / 16, 1.0 / 32, 1.0 / 64, 1.0 / 128} {
+	uos := []float64{1.0 / 2, 1.0 / 4, 1.0 / 8, 1.0 / 16, 1.0 / 32, 1.0 / 64, 1.0 / 128}
+	err := ParRows(t, len(uos), func(i int) ([][]string, error) {
+		uo := uos[i]
 		p := core.SingleParams{BA: ba, DO: 8, UO: uo, W: 16}
 		tr := staircase(2, 32768, p.W, 8192)
 
@@ -134,7 +141,7 @@ func Thm7SweepU() (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("E5 UO=%v greedy: %w", uo, err)
 		}
-		t.AddRow(
+		return [][]string{{
 			f3(uo), itoa(int64(bw.Log2Ceil(int64(1/uo)))),
 			itoa(modRes.Report.Changes), itoa(int64(mod.Stats().Stages)),
 			f2(float64(modRes.Report.Changes)/float64(mod.Stats().Stages)),
@@ -142,7 +149,10 @@ func Thm7SweepU() (*Table, error) {
 			f2(float64(stdRes.Report.Changes)/float64(std.Stats().Stages)),
 			itoa(greedy.Changes()),
 			f2(ratio(modRes.Report.Changes, greedy.Changes())),
-		)
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

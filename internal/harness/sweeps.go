@@ -30,7 +30,9 @@ func WindowSweep() (*Table, error) {
 		},
 	}
 	const do = bw.Tick(8)
-	for _, w := range []bw.Tick{8, 16, 32, 64, 128} {
+	ws := []bw.Tick{8, 16, 32, 64, 128}
+	err := ParRows(t, len(ws), func(i int) ([][]string, error) {
+		w := ws[i]
 		p := core.SingleParams{BA: 256, DO: do, UO: 0.5, W: w}
 		tr := feasibleBursty(600, p, 4096)
 		alg := core.MustNewSingleSession(p)
@@ -39,7 +41,7 @@ func WindowSweep() (*Table, error) {
 			return nil, fmt.Errorf("E19 W=%d: %w", w, err)
 		}
 		avgRate := float64(res.Report.TotalAllocated) / float64(res.Schedule.Len())
-		t.AddRow(
+		return [][]string{{
 			itoa(w),
 			itoa(res.Report.Changes),
 			itoa(int64(alg.Stats().Stages)),
@@ -47,7 +49,10 @@ func WindowSweep() (*Table, error) {
 			f3(metrics.FlexibleUtilizationMin(tr, res.Schedule, 1, p.W+5*p.DO)),
 			f3(res.Report.GlobalUtil),
 			f2(avgRate),
-		)
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }
@@ -76,22 +81,28 @@ func SlackSweep() (*Table, error) {
 	}
 	sweep := []bw.Tick{16, 12, 8, 6, 4, 2}
 	tightest := core.SingleParams{BA: 256, DO: 2, UO: 0.5, W: 64}
+	// Built once, shared read-only by every point (immutable, prefix sums
+	// precomputed) — the one deliberate exception to per-point construction.
 	tr := feasibleBursty(700, tightest, 4096)
-	for _, do := range sweep {
+	err := ParRows(t, len(sweep), func(i int) ([][]string, error) {
+		do := sweep[i]
 		p := core.SingleParams{BA: 256, DO: do, UO: 0.5, W: 64}
 		alg := core.MustNewSingleSession(p)
 		res, err := sim.Run(tr, alg, sim.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("E20 DO=%d: %w", do, err)
 		}
-		t.AddRow(
+		return [][]string{{
 			itoa(do), itoa(p.DA()),
 			itoa(res.Report.Changes),
 			itoa(int64(alg.Stats().Stages)),
 			itoa(res.Delay.Max),
 			f3(metrics.FlexibleUtilizationMin(tr, res.Schedule, 1, p.W+5*p.DO)),
 			f3(res.Report.GlobalUtil),
-		)
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return t, nil
 }

@@ -40,8 +40,9 @@ func LocalUtilizationMin(tr *trace.Trace, sched *bw.Schedule, w bw.Tick) float64
 	}
 	n := sched.Len()
 	minRatio := math.Inf(1)
+	cur := sched.Cursor()
 	for a := bw.Tick(0); a+w <= n; a++ {
-		alloc := sched.Integral(a, a+w)
+		alloc := cur.Integral(a, a+w)
 		if alloc == 0 {
 			continue
 		}
@@ -71,10 +72,11 @@ func FlexibleUtilizationMin(tr *trace.Trace, sched *bw.Schedule, minW, maxW bw.T
 	}
 	n := sched.Len()
 	worst := 1.0
+	cur := sched.Cursor()
 	for t := minW; t <= n; t++ {
 		best := 0.0
 		for w := minW; w <= maxW && w <= t; w++ {
-			alloc := sched.Integral(t-w, t)
+			alloc := cur.Integral(t-w, t)
 			ratio := 1.0
 			if alloc > 0 {
 				ratio = float64(tr.Window(t-w, t)) / float64(alloc)

@@ -298,11 +298,12 @@ func VerifySchedule(tr *trace.Trace, sched *bw.Schedule, p Params) error {
 	}
 	var q []chunk
 	head := 0
+	cur := sched.Cursor()
 	for t := bw.Tick(0); t < n; t++ {
 		if a := tr.At(t); a > 0 {
 			q = append(q, chunk{deadline: t + p.D, bits: a})
 		}
-		budget := sched.At(t)
+		budget := cur.At(t)
 		for budget > 0 && head < len(q) {
 			c := &q[head]
 			took := bw.Min(budget, c.bits)

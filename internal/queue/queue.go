@@ -28,11 +28,19 @@ type FIFO struct {
 	// served is the total number of bits served.
 	served bw.Bits
 	// delayHist[d] counts bits served with delay d (capped at histCap-1;
-	// the last bucket accumulates everything at or beyond it).
+	// the last bucket accumulates everything at or beyond it). It grows
+	// geometrically with the largest delay observed, so short runs — and
+	// the typical run, whose delays stay within the 2*D_O guarantee —
+	// never pay for the full histCap range.
 	delayHist []bw.Bits
 }
 
-const histCap = 4096
+const (
+	histCap = 4096
+	// histMin is the first allocation size of delayHist; doubled until
+	// the observed delay fits, up to histCap.
+	histMin = 64
+)
 
 // Push adds bits arriving at tick t. Pushes must have nondecreasing ticks.
 func (q *FIFO) Push(t bw.Tick, bits bw.Bits) {
@@ -78,14 +86,32 @@ func (q *FIFO) recordServed(delay bw.Tick, bits bw.Bits) {
 	if delay > q.maxDelay {
 		q.maxDelay = delay
 	}
-	if q.delayHist == nil {
-		q.delayHist = make([]bw.Bits, histCap)
-	}
 	idx := delay
 	if idx >= histCap {
 		idx = histCap - 1
 	}
+	if int(idx) >= len(q.delayHist) {
+		q.growHist(idx)
+	}
 	q.delayHist[idx] += bits
+}
+
+// growHist extends delayHist to cover idx, doubling from histMin up to
+// histCap. Growth reuses the existing prefix, so counts are preserved.
+func (q *FIFO) growHist(idx bw.Tick) {
+	n := len(q.delayHist)
+	if n == 0 {
+		n = histMin
+	}
+	for n <= int(idx) {
+		n *= 2
+	}
+	if n > histCap {
+		n = histCap
+	}
+	grown := make([]bw.Bits, n)
+	copy(grown, q.delayHist)
+	q.delayHist = grown
 }
 
 // compact drops fully-served chunks from the front once they dominate the
@@ -96,6 +122,18 @@ func (q *FIFO) compact() {
 		q.chunks = q.chunks[:n]
 		q.head = 0
 	}
+}
+
+// Reset returns the queue to its zero state while keeping the chunk and
+// histogram storage, so a queue reused across simulation runs
+// (sim.Runner) reaches a steady state of zero allocations per run.
+func (q *FIFO) Reset() {
+	q.chunks = q.chunks[:0]
+	q.head = 0
+	q.bits = 0
+	q.maxDelay = 0
+	q.served = 0
+	clear(q.delayHist)
 }
 
 // Bits returns the number of bits currently queued.

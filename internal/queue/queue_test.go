@@ -260,3 +260,114 @@ func BenchmarkPushServe(b *testing.B) {
 		q.Serve(t, 64)
 	}
 }
+
+func TestResetMatchesFresh(t *testing.T) {
+	// A used-then-Reset queue must behave exactly like a zero-value one.
+	used := &FIFO{}
+	used.Push(0, 100)
+	used.Serve(3, 40)
+	used.Serve(9, 1000)
+	used.Reset()
+
+	fresh := &FIFO{}
+	for _, q := range []*FIFO{used, fresh} {
+		q.Push(0, 8)
+		q.Push(2, 4)
+		q.Serve(2, 6)
+		q.Serve(5, 100)
+	}
+	if used.Bits() != fresh.Bits() || used.Served() != fresh.Served() ||
+		used.MaxDelay() != fresh.MaxDelay() {
+		t.Fatalf("reset queue diverged: bits %d/%d served %d/%d maxDelay %d/%d",
+			used.Bits(), fresh.Bits(), used.Served(), fresh.Served(),
+			used.MaxDelay(), fresh.MaxDelay())
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		if used.DelayQuantile(p) != fresh.DelayQuantile(p) {
+			t.Errorf("DelayQuantile(%v) = %d, want %d", p, used.DelayQuantile(p), fresh.DelayQuantile(p))
+		}
+	}
+}
+
+func TestResetKeepsHistogramStorage(t *testing.T) {
+	q := &FIFO{}
+	q.Push(0, 1)
+	q.Serve(100, 1) // forces the histogram past histMin
+	grown := len(q.delayHist)
+	if grown < 128 {
+		t.Fatalf("histogram did not grow: len %d", grown)
+	}
+	q.Reset()
+	if len(q.delayHist) != grown {
+		t.Fatalf("Reset shrank histogram: len %d, want %d", len(q.delayHist), grown)
+	}
+	for i, c := range q.delayHist {
+		if c != 0 {
+			t.Fatalf("Reset left count %d at delay %d", c, i)
+		}
+	}
+}
+
+func TestDelayHistGrowsGeometrically(t *testing.T) {
+	q := &FIFO{}
+	q.Push(0, 1)
+	q.Serve(0, 1)
+	if len(q.delayHist) != histMin {
+		t.Fatalf("first record allocated %d buckets, want %d", len(q.delayHist), histMin)
+	}
+	q.Push(1, 1)
+	q.Serve(1 + 500, 1)
+	if len(q.delayHist) != 512 {
+		t.Fatalf("delay 500 grew histogram to %d, want 512", len(q.delayHist))
+	}
+	if got := q.DelayQuantile(1); got != 500 {
+		t.Fatalf("DelayQuantile(1) = %d, want 500", got)
+	}
+}
+
+func TestDelayHistCapStillAccumulates(t *testing.T) {
+	q := &FIFO{}
+	q.Push(0, 2)
+	q.Serve(histCap+100, 2) // beyond the cap: lands in the last bucket
+	if len(q.delayHist) != histCap {
+		t.Fatalf("histogram len %d, want cap %d", len(q.delayHist), histCap)
+	}
+	if got := q.DelayQuantile(0.5); got != histCap-1 {
+		t.Fatalf("capped quantile = %d, want %d", got, histCap-1)
+	}
+	if q.MaxDelay() != histCap+100 {
+		t.Fatalf("MaxDelay = %d", q.MaxDelay())
+	}
+}
+
+// BenchmarkServeTypicalDelays is the before/after benchmark for the
+// geometric histogram: delays stay within a 2*D_O-style bound, so only
+// the first histMin buckets are ever touched. Before this change every
+// first recordServed allocated all histCap buckets (32 KiB).
+func BenchmarkServeTypicalDelays(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		q := &FIFO{}
+		for t := bw.Tick(0); t < 64; t++ {
+			q.Push(t, 16)
+			q.Serve(t, 12)
+		}
+		q.DrainAll(64)
+	}
+}
+
+// BenchmarkReuse measures the steady state of a Reset-reused queue:
+// zero allocations per run once chunk and histogram storage are warm.
+func BenchmarkReuse(b *testing.B) {
+	q := &FIFO{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Reset()
+		for t := bw.Tick(0); t < 64; t++ {
+			q.Push(t, 16)
+			q.Serve(t, 12)
+		}
+		q.DrainAll(64)
+	}
+}

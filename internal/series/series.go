@@ -31,8 +31,9 @@ func Demand(tr *trace.Trace, bucket bw.Tick) []Point {
 
 // Allocation returns the mean allocated rate per bucket of the schedule.
 func Allocation(s *bw.Schedule, bucket bw.Tick) []Point {
+	cur := s.Cursor()
 	return bucketize(s.Len(), bucket, func(a, b bw.Tick) int64 {
-		return ceilMean(s.Integral(a, b), b-a)
+		return ceilMean(cur.Integral(a, b), b-a)
 	})
 }
 
@@ -45,9 +46,10 @@ func QueueOccupancy(tr *trace.Trace, s *bw.Schedule, bucket bw.Tick) []Point {
 	}
 	occupancy := make([]int64, n)
 	var q bw.Bits
+	cur := s.Cursor()
 	for t := bw.Tick(0); t < n; t++ {
 		q += tr.At(t)
-		served := bw.Volume(s.At(t), 1)
+		served := bw.Volume(cur.At(t), 1)
 		if served > q {
 			served = q
 		}

@@ -1,11 +1,8 @@
 package sim
 
 import (
-	"fmt"
-
 	"dynbw/internal/bw"
 	"dynbw/internal/metrics"
-	"dynbw/internal/queue"
 	"dynbw/internal/trace"
 )
 
@@ -52,71 +49,9 @@ func (r *MultiResult) TotalChanges() int { return r.Total.Changes() }
 func (r *MultiResult) MaxTotalRate() bw.Rate { return r.Total.MaxRate() }
 
 // RunMulti simulates the allocator on k parallel sessions.
+//
+// RunMulti is a thin wrapper over a throwaway MultiRunner; hot paths
+// that simulate repeatedly should hold a MultiRunner and reuse it.
 func RunMulti(m *trace.Multi, alloc MultiAllocator, opts Options) (*MultiResult, error) {
-	k := m.K()
-	n := m.Len()
-	limit := n + opts.drainBudget(n)
-
-	queues := make([]queue.FIFO, k)
-	scheds := make([]*bw.Schedule, k)
-	for i := range scheds {
-		scheds[i] = &bw.Schedule{}
-	}
-	arrived := make([]bw.Bits, k)
-	queued := make([]bw.Bits, k)
-
-	t := bw.Tick(0)
-	for ; t < limit; t++ {
-		var pending bw.Bits
-		for i := 0; i < k; i++ {
-			arrived[i] = m.Session(i).At(t)
-			queues[i].Push(t, arrived[i])
-			queued[i] = queues[i].Bits()
-			pending += queued[i]
-		}
-		if t >= n && pending == 0 {
-			break
-		}
-		rates := alloc.Rates(t, arrived, queued)
-		if len(rates) != k {
-			return nil, fmt.Errorf("sim: allocator returned %d rates, want %d", len(rates), k)
-		}
-		for i, r := range rates {
-			if r < 0 {
-				return nil, fmt.Errorf("sim: session %d negative rate %d at tick %d", i, r, t)
-			}
-			scheds[i].Set(t, r)
-			queues[i].Serve(t, r)
-		}
-	}
-	var left bw.Bits
-	for i := range queues {
-		left += queues[i].Bits()
-	}
-	if left > 0 {
-		return nil, fmt.Errorf("%w: %d bits left after %d ticks", ErrQueueNeverDrained, left, limit)
-	}
-
-	var (
-		maxDelay bw.Tick
-		served   bw.Bits
-	)
-	sessionDelays := make([]bw.Tick, k)
-	for i := range queues {
-		sessionDelays[i] = queues[i].MaxDelay()
-		if sessionDelays[i] > maxDelay {
-			maxDelay = sessionDelays[i]
-		}
-		served += queues[i].Served()
-	}
-	total := bw.Sum(scheds...)
-	agg := m.Aggregate()
-	delay := metrics.DelayStats{Max: maxDelay, Served: served}
-	return &MultiResult{
-		Sessions:      scheds,
-		Total:         total,
-		Delay:         delay,
-		SessionDelays: sessionDelays,
-		Report:        metrics.BuildReport(agg, total, delay),
-	}, nil
+	return new(MultiRunner).Run(m, alloc, opts)
 }

@@ -12,11 +12,9 @@ package sim
 
 import (
 	"errors"
-	"fmt"
 
 	"dynbw/internal/bw"
 	"dynbw/internal/metrics"
-	"dynbw/internal/queue"
 	"dynbw/internal/trace"
 )
 
@@ -88,53 +86,9 @@ func (o Options) drainBudget(n bw.Tick) bw.Tick {
 // schedule and metrics. After the trace ends the simulator keeps ticking
 // (with zero arrivals) until the queue drains, so every bit's delay is
 // accounted for.
+//
+// Run is a thin wrapper over a throwaway Runner; hot paths that simulate
+// repeatedly should hold a Runner and reuse it.
 func Run(tr *trace.Trace, alloc Allocator, opts Options) (*Result, error) {
-	var (
-		q         queue.FIFO
-		sched     bw.Schedule
-		dropped   bw.Bits
-		peakQueue bw.Bits
-	)
-	n := tr.Len()
-	limit := n + opts.drainBudget(n)
-	t := bw.Tick(0)
-	for ; t < limit; t++ {
-		arrived := tr.At(t)
-		if t >= n && q.Empty() {
-			break
-		}
-		if opts.QueueCap > 0 {
-			if room := opts.QueueCap - q.Bits(); arrived > room {
-				dropped += arrived - room
-				arrived = room
-			}
-		}
-		q.Push(t, arrived)
-		if q.Bits() > peakQueue {
-			peakQueue = q.Bits()
-		}
-		r := alloc.Rate(t, arrived, q.Bits())
-		if r < 0 {
-			return nil, fmt.Errorf("sim: allocator returned negative rate %d at tick %d", r, t)
-		}
-		sched.Set(t, r)
-		q.Serve(t, r)
-	}
-	if !q.Empty() {
-		return nil, fmt.Errorf("%w: %d bits left after %d ticks", ErrQueueNeverDrained, q.Bits(), limit)
-	}
-	delay := metrics.DelayStats{
-		Max:    q.MaxDelay(),
-		P50:    q.DelayQuantile(0.50),
-		P99:    q.DelayQuantile(0.99),
-		Served: q.Served(),
-	}
-	res := &Result{
-		Schedule:  &sched,
-		Delay:     delay,
-		Report:    metrics.BuildReport(tr, &sched, delay),
-		Dropped:   dropped,
-		PeakQueue: peakQueue,
-	}
-	return res, nil
+	return new(Runner).Run(tr, alloc, opts)
 }
