@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test lint race bench bench-all fuzz load experiments examples cover clean
+.PHONY: all build test lint race bench bench-compare bench-all fuzz load experiments examples cover clean
 
 all: build lint test
 
@@ -25,9 +25,15 @@ race:
 # ns/op, B/op, allocs/op and rows/op in BENCH_<PR>.json for regression
 # tracking across PRs. BENCH_PR picks the artifact suffix; -short keeps
 # the wall-clock TCP soak out of the tracked numbers.
-BENCH_PR ?= 5
+BENCH_PR ?= 6
 bench:
 	$(GO) run ./cmd/bwbench -benchjson BENCH_$(BENCH_PR).json -benchtime 200ms -short
+
+# Diff the current PR's artifact against the previous one; exits
+# non-zero on >10% ns/op or any allocs/op regression (see
+# bwbench -compare for cross-machine tolerance flags).
+bench-compare:
+	$(GO) run ./cmd/bwbench -compare BENCH_5.json BENCH_$(BENCH_PR).json
 
 # The old behaviour (every package's benchmarks, no artifact).
 bench-all:

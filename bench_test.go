@@ -58,6 +58,9 @@ func BenchmarkBufferSizing(b *testing.B)             { benchExperiment(b, "E17")
 func BenchmarkWorkloadCharacterization(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkWindowSweep(b *testing.B)              { benchExperiment(b, "E19") }
 func BenchmarkSlackSweep(b *testing.B)               { benchExperiment(b, "E20") }
+func BenchmarkRoutingBlocking(b *testing.B)          { benchExperiment(b, "E23") }
+func BenchmarkRoutingBalance(b *testing.B)           { benchExperiment(b, "E24") }
+func BenchmarkRoutingCost(b *testing.B)              { benchExperiment(b, "E25") }
 
 // BenchmarkSoakGateway drives the live-path soak (E21): real gateways,
 // real TCP clients, wall-clock ticks. Unlike the experiments above its

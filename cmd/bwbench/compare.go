@@ -1,0 +1,122 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// compare.go implements `bwbench -compare old.json new.json`: the
+// enforcement half of the BENCH_<n>.json tracking (ROADMAP item 5).
+// Two artifacts produced by -benchjson are diffed benchmark by
+// benchmark; the run exits non-zero when the new file shows a ns/op
+// regression beyond -ns-tol (default 10%), any allocs/op increase
+// beyond -allocs-tol (default 0: allocation counts are deterministic,
+// so any growth is a real regression), or a benchmark that vanished.
+// Benchmarks only present in the new file are reported but never fail
+// the comparison — new experiments are supposed to add entries.
+
+// loadBenchDoc reads one -benchjson artifact.
+func loadBenchDoc(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s holds no benchmark entries", path)
+	}
+	return &doc, nil
+}
+
+// compareDocs diffs two artifacts and returns one line per benchmark
+// plus the list of regressions. nsTol is a fraction (0.10 = +10%);
+// allocsTol is an absolute allocs/op slack.
+func compareDocs(old, new *benchDoc, nsTol, allocsTol float64) (lines []string, regressions []string) {
+	oldBy := make(map[string]BenchResult, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	newBy := make(map[string]BenchResult, len(new.Benchmarks))
+	names := make([]string, 0, len(new.Benchmarks))
+	for _, b := range new.Benchmarks {
+		newBy[b.Name] = b
+		names = append(names, b.Name)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		o, haveOld := oldBy[name]
+		n, haveNew := newBy[name]
+		switch {
+		case !haveNew:
+			lines = append(lines, fmt.Sprintf("%-44s VANISHED (was %.0f ns/op)", name, o.NsPerOp))
+			regressions = append(regressions, fmt.Sprintf("%s: benchmark vanished", name))
+		case !haveOld:
+			lines = append(lines, fmt.Sprintf("%-44s NEW      %12.0f ns/op", name, n.NsPerOp))
+		default:
+			delta := 0.0
+			if o.NsPerOp > 0 {
+				delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+			}
+			verdict := "ok"
+			if o.NsPerOp > 0 && delta > nsTol {
+				verdict = "SLOWER"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %.0f -> %.0f ns/op (%+.1f%%, tolerance %+.1f%%)",
+						name, o.NsPerOp, n.NsPerOp, 100*delta, 100*nsTol))
+			}
+			allocs := ""
+			if o.AllocsPerOp >= 0 && n.AllocsPerOp >= 0 {
+				allocs = fmt.Sprintf("  %8.0f -> %-8.0f allocs/op", o.AllocsPerOp, n.AllocsPerOp)
+				if n.AllocsPerOp > o.AllocsPerOp+allocsTol {
+					verdict = "ALLOCS"
+					regressions = append(regressions,
+						fmt.Sprintf("%s: %.0f -> %.0f allocs/op (tolerance +%g)",
+							name, o.AllocsPerOp, n.AllocsPerOp, allocsTol))
+				}
+			}
+			lines = append(lines, fmt.Sprintf("%-44s %-7s %12.0f -> %-12.0f ns/op (%+.1f%%)%s",
+				name, verdict, o.NsPerOp, n.NsPerOp, 100*delta, allocs))
+		}
+	}
+	return lines, regressions
+}
+
+// runCompare loads and diffs two artifacts and reports the verdict; a
+// non-nil error (listing every regression) makes bwbench exit 1, which
+// is what the CI bench-smoke job keys off.
+func runCompare(out io.Writer, oldPath, newPath string, nsTol, allocsTol float64) error {
+	old, err := loadBenchDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	new, err := loadBenchDoc(newPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "comparing %s (benchtime %s) -> %s (benchtime %s)\n",
+		oldPath, old.Benchtime, newPath, new.Benchtime)
+	lines, regressions := compareDocs(old, new, nsTol, allocsTol)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Fprintf(out, "no regressions (ns/op tolerance %+.0f%%, allocs/op tolerance +%g)\n",
+		100*nsTol, allocsTol)
+	return nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeDoc marshals a benchDoc into dir and returns its path.
+func writeDoc(t *testing.T, dir, name string, results []BenchResult) string {
+	t.Helper()
+	doc := benchDoc{GoVersion: "go1.x", GOOS: "linux", GOARCH: "amd64", GOMAXPROCS: 8,
+		Benchtime: "200ms", Benchmarks: results}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestComparePasses(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchResult{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000, BytesPerOp: 64, AllocsPerOp: 3},
+		{Name: "BenchmarkB", Iterations: 100, NsPerOp: 500, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+	new := writeDoc(t, dir, "new.json", []BenchResult{
+		// +9% ns/op is inside the default 10% tolerance; fewer allocs is fine.
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1090, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "BenchmarkB", Iterations: 100, NsPerOp: 400, BytesPerOp: 0, AllocsPerOp: 0},
+		// Benchmarks that only exist in the new artifact never fail the diff.
+		{Name: "BenchmarkNew", Iterations: 100, NsPerOp: 9999, BytesPerOp: -1, AllocsPerOp: -1},
+	})
+	var sb strings.Builder
+	if err := run([]string{"-compare", old, new}, &sb); err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no regressions") {
+		t.Errorf("missing verdict line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "NEW") {
+		t.Errorf("new-only benchmark not reported:\n%s", sb.String())
+	}
+}
+
+func TestCompareFailsOnSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchResult{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+	new := writeDoc(t, dir, "new.json", []BenchResult{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1200, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+	var sb strings.Builder
+	err := run([]string{"-compare", old, new}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("want ns/op regression error, got %v", err)
+	}
+	// A wider tolerance admits the same pair.
+	if err := run([]string{"-compare", "-ns-tol", "0.25", old, new}, &sb); err != nil {
+		t.Fatalf("compare at 25%% tolerance failed: %v", err)
+	}
+}
+
+func TestCompareFailsOnAllocGrowth(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchResult{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+	new := writeDoc(t, dir, "new.json", []BenchResult{
+		// Faster but allocating: still a regression at the default zero slack.
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 900, BytesPerOp: 16, AllocsPerOp: 1},
+	})
+	var sb strings.Builder
+	err := run([]string{"-compare", old, new}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("want allocs/op regression error, got %v", err)
+	}
+	if err := run([]string{"-compare", "-allocs-tol", "1", old, new}, &sb); err != nil {
+		t.Fatalf("compare with allocs slack failed: %v", err)
+	}
+}
+
+func TestCompareFailsOnVanishedBenchmark(t *testing.T) {
+	dir := t.TempDir()
+	old := writeDoc(t, dir, "old.json", []BenchResult{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "BenchmarkGone", Iterations: 100, NsPerOp: 2000, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+	new := writeDoc(t, dir, "new.json", []BenchResult{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000, BytesPerOp: 0, AllocsPerOp: 0},
+	})
+	var sb strings.Builder
+	err := run([]string{"-compare", old, new}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "vanished") {
+		t.Fatalf("want vanished-benchmark error, got %v", err)
+	}
+}
+
+func TestCompareSkipsAllocCheckWhenUnreported(t *testing.T) {
+	dir := t.TempDir()
+	// AllocsPerOp -1 means -benchmem was absent; the alloc gate must not
+	// treat "unreported" as zero on either side.
+	old := writeDoc(t, dir, "old.json", []BenchResult{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000, BytesPerOp: -1, AllocsPerOp: -1},
+	})
+	new := writeDoc(t, dir, "new.json", []BenchResult{
+		{Name: "BenchmarkA", Iterations: 100, NsPerOp: 1000, BytesPerOp: 64, AllocsPerOp: 5},
+	})
+	var sb strings.Builder
+	if err := run([]string{"-compare", old, new}, &sb); err != nil {
+		t.Fatalf("compare failed: %v", err)
+	}
+}
+
+func TestCompareArgValidation(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-compare", "only-one.json"}, &sb); err == nil {
+		t.Error("single-argument -compare accepted")
+	}
+	if err := run([]string{"-compare", "a.json", "b.json"}, &sb); err == nil {
+		t.Error("missing files accepted")
+	}
+}

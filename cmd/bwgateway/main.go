@@ -13,11 +13,21 @@
 // sessions get -grace to drain, and the event ring is flushed to
 // stderr as JSONL.
 //
+// With -links > 1 the slot pool is partitioned across that many backend
+// links, each running its own allocator over an equal share of the
+// bandwidth; sessions are placed onto links at OPEN time by the -route
+// policy (greedy least-loaded, DAR with trunk reservation, or
+// power-of-two-choices) and -rebalance migrates sessions between links
+// to even out occupancy. Routing activity shows up on /metrics as
+// dynbw_route_placements_total, dynbw_route_blocked_total and
+// dynbw_route_reroutes_total.
+//
 // Usage examples:
 //
 //	bwgateway -policy phased -k 4 -duration 2s
 //	bwgateway -policy combined -k 8 -tick 2ms -duration 5s
 //	bwgateway -k 64 -duration 0 -admin 127.0.0.1:8080   # serve until ^C
+//	bwgateway -k 16 -links 4 -route p2c -rebalance 64 -duration 2s
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"dynbw/internal/gateway"
 	"dynbw/internal/obs"
 	"dynbw/internal/rng"
+	"dynbw/internal/route"
 	"dynbw/internal/sim"
 )
 
@@ -50,17 +61,21 @@ func main() {
 func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("bwgateway", flag.ContinueOnError)
 	var (
-		policy   = fs.String("policy", "phased", "phased|continuous|combined")
-		addr     = fs.String("addr", "127.0.0.1:0", "TCP listen address for the wire protocol")
-		k        = fs.Int("k", 4, "session slots / synthetic clients")
-		bo       = fs.Int64("bo", 0, "offline bandwidth B_O (default 16*k)")
-		do       = fs.Int64("do", 8, "offline delay bound D_O in ticks")
-		tick     = fs.Duration("tick", time.Millisecond, "tick interval")
-		duration = fs.Duration("duration", time.Second, "how long clients stream (0: serve external clients until SIGINT/SIGTERM)")
-		seed     = fs.Uint64("seed", 1, "client traffic seed")
-		admin    = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /sessions, /events, /debug/pprof (empty: disabled)")
-		events   = fs.Int("events", obs.DefaultRingSize, "allocation-event ring capacity")
-		grace    = fs.Duration("grace", 2*time.Second, "graceful-shutdown drain window for live sessions")
+		policy    = fs.String("policy", "phased", "phased|continuous|combined")
+		addr      = fs.String("addr", "127.0.0.1:0", "TCP listen address for the wire protocol")
+		k         = fs.Int("k", 4, "session slots / synthetic clients")
+		bo        = fs.Int64("bo", 0, "offline bandwidth B_O (default 16*k)")
+		do        = fs.Int64("do", 8, "offline delay bound D_O in ticks")
+		tick      = fs.Duration("tick", time.Millisecond, "tick interval")
+		duration  = fs.Duration("duration", time.Second, "how long clients stream (0: serve external clients until SIGINT/SIGTERM)")
+		seed      = fs.Uint64("seed", 1, "client traffic seed")
+		admin     = fs.String("admin", "", "admin HTTP address serving /metrics, /healthz, /sessions, /events, /debug/pprof (empty: disabled)")
+		events    = fs.Int("events", obs.DefaultRingSize, "allocation-event ring capacity")
+		grace     = fs.Duration("grace", 2*time.Second, "graceful-shutdown drain window for live sessions")
+		links     = fs.Int("links", 1, "backend links; >1 partitions the slots and routes sessions across them")
+		routeName = fs.String("route", "greedy", "multi-link placement policy: greedy|dar|p2c")
+		reserve   = fs.Int64("reserve", 1, "DAR trunk reservation in slot units")
+		rebalance = fs.Int64("rebalance", 0, "migrate sessions between links every this many ticks (0: never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -69,31 +84,67 @@ func run(args []string, out, errw io.Writer) error {
 		*bo = int64(16 * *k)
 	}
 
-	alloc, err := makePolicy(*policy, *k, *bo, *do)
-	if err != nil {
-		return err
-	}
 	reg := obs.NewRegistry()
 	ring := obs.NewRing(*events)
-	if o, ok := alloc.(obs.Observable); ok {
-		o.SetObserver(ring)
-	}
-	ticker := time.NewTicker(*tick)
-	defer ticker.Stop()
-	gw, err := gateway.NewWithConfig(gateway.Config{
+	cfg := gateway.Config{
 		Addr:     *addr,
 		Slots:    *k,
-		Alloc:    alloc,
-		Ticks:    ticker.C,
+		Ticks:    nil, // set below
 		Observer: ring,
 		Metrics:  reg,
 		Policy:   *policy,
 		Log:      slog.New(slog.NewTextHandler(errw, nil)),
-	})
+	}
+	if *links > 1 {
+		if *k%*links != 0 {
+			return fmt.Errorf("-k %d does not divide across -links %d", *k, *links)
+		}
+		m := *k / *links
+		router, err := makeRouter(*routeName, *links, m, *reserve, *seed)
+		if err != nil {
+			return err
+		}
+		router.SetObserver(ring)
+		router.Instrument(reg)
+		allocs := make([]sim.MultiAllocator, *links)
+		for i := range allocs {
+			a, err := makePolicy(*policy, m, *bo/int64(*links), *do)
+			if err != nil {
+				return err
+			}
+			if o, ok := a.(obs.Observable); ok {
+				o.SetObserver(ring)
+			}
+			allocs[i] = a
+		}
+		cfg.Links = *links
+		cfg.Router = router
+		cfg.LinkAllocs = allocs
+		cfg.RebalanceEvery = bw.Tick(*rebalance)
+		cfg.RebalanceLimit = m
+	} else {
+		alloc, err := makePolicy(*policy, *k, *bo, *do)
+		if err != nil {
+			return err
+		}
+		if o, ok := alloc.(obs.Observable); ok {
+			o.SetObserver(ring)
+		}
+		cfg.Alloc = alloc
+	}
+	ticker := time.NewTicker(*tick)
+	defer ticker.Stop()
+	cfg.Ticks = ticker.C
+	gw, err := gateway.NewWithConfig(cfg)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "gateway %s: %d slots, policy %s, tick %v\n", gw.Addr(), *k, *policy, *tick)
+	if *links > 1 {
+		fmt.Fprintf(out, "gateway %s: %d slots over %d links (route %s), policy %s, tick %v\n",
+			gw.Addr(), *k, *links, *routeName, *policy, *tick)
+	} else {
+		fmt.Fprintf(out, "gateway %s: %d slots, policy %s, tick %v\n", gw.Addr(), *k, *policy, *tick)
+	}
 
 	if *admin != "" {
 		adm, err := obs.StartAdmin(*admin, &obs.Admin{
@@ -180,6 +231,22 @@ func streamClient(ctx context.Context, addr string, seed uint64, rate int64, tic
 		}
 	}
 	return nil
+}
+
+// makeRouter builds the multi-link placement policy over `links` links
+// of m slots each.
+func makeRouter(name string, links, m int, reserve int64, seed uint64) (*route.Policy, error) {
+	caps := route.Uniform(links, bw.Rate(m))
+	switch name {
+	case "greedy":
+		return route.NewGreedy(caps), nil
+	case "dar":
+		return route.NewDAR(caps, bw.Rate(reserve), seed), nil
+	case "p2c":
+		return route.NewP2C(caps, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown route policy %q", name)
+	}
 }
 
 func makePolicy(name string, k int, bo, do int64) (sim.MultiAllocator, error) {

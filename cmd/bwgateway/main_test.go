@@ -139,3 +139,88 @@ func TestRunAdminAndSignal(t *testing.T) {
 		}
 	}
 }
+
+func TestRunMultiLinkDemo(t *testing.T) {
+	for _, policy := range []string{"greedy", "dar", "p2c"} {
+		t.Run(policy, func(t *testing.T) {
+			var buf, errBuf strings.Builder
+			args := []string{
+				"-k", "4", "-links", "2", "-route", policy,
+				"-rebalance", "8", "-tick", "500us", "-duration", "150ms",
+			}
+			if err := run(args, &buf, &errBuf); err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			out := buf.String()
+			for _, want := range []string{"over 2 links", "route " + policy, "bits served:"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("output missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestRunMultiLinkValidation(t *testing.T) {
+	var buf, errBuf strings.Builder
+	if err := run([]string{"-k", "5", "-links", "2", "-duration", "10ms"}, &buf, &errBuf); err == nil {
+		t.Fatal("indivisible -k/-links accepted")
+	}
+	if err := run([]string{"-k", "4", "-links", "2", "-route", "nope", "-duration", "10ms"}, &buf, &errBuf); err == nil {
+		t.Fatal("bad route policy accepted")
+	}
+}
+
+// TestRunMultiLinkMetrics checks that a multi-link gateway exports the
+// routing counters on /metrics from startup.
+func TestRunMultiLinkMetrics(t *testing.T) {
+	var buf, errBuf syncBuf
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-k", "4", "-links", "2", "-route", "p2c",
+			"-tick", "500us", "-duration", "0",
+			"-admin", "127.0.0.1:0", "-grace", "200ms",
+		}, &buf, &errBuf)
+	}()
+
+	var adminAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, rest, ok := strings.Cut(buf.String(), "admin http://"); ok {
+			adminAddr = strings.Fields(rest)[0]
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if adminAddr == "" {
+		t.Fatalf("admin address never printed:\n%s", buf.String())
+	}
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", adminAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		`dynbw_route_placements_total{policy="p2c"}`,
+		`dynbw_route_reroutes_total{policy="p2c"}`,
+		`dynbw_route_link_load{link="0"}`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatalf("self-signal: %v", err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not exit after SIGINT")
+	}
+}

@@ -4,11 +4,17 @@
 // a planted workload (known offline change count) or a multi-session CSV
 // trace (tick,session,bits).
 //
+// -policy takes a comma-separated list; each policy gets its own
+// simulation and report section, fanned across -j worker goroutines
+// through the same harness.ParRows machinery as the experiment sweeps,
+// so the output bytes are identical for every -j value.
+//
 // Usage examples:
 //
 //	bwmulti -policy phased -k 8
 //	bwmulti -policy combined -k 4 -ba 512 -uo 0.25
 //	bwmulti -policy continuous -trace sessions.csv -bo 64
+//	bwmulti -policy phased,continuous,combined -k 8 -j 3
 package main
 
 import (
@@ -16,9 +22,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 
 	"dynbw/internal/bw"
 	"dynbw/internal/core"
+	"dynbw/internal/harness"
 	"dynbw/internal/sim"
 	"dynbw/internal/trace"
 	"dynbw/internal/traffic"
@@ -34,7 +42,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bwmulti", flag.ContinueOnError)
 	var (
-		policy    = fs.String("policy", "phased", "phased|continuous|combined")
+		policy    = fs.String("policy", "phased", "comma-separated list of phased|continuous|combined")
 		k         = fs.Int("k", 4, "number of sessions (ignored with -trace)")
 		bo        = fs.Int64("bo", 0, "offline total bandwidth B_O (default 16*k)")
 		do        = fs.Int64("do", 8, "offline delay bound D_O")
@@ -45,6 +53,7 @@ func run(args []string, out io.Writer) error {
 		phases    = fs.Int("phases", 16, "planted workload phases")
 		phaseLen  = fs.Int64("phaselen", 64, "planted workload phase length")
 		traceFile = fs.String("trace", "", "multi-session CSV trace instead of a planted workload")
+		workers   = fs.Int("j", 0, "worker goroutines across -policy runs (0 = GOMAXPROCS); output is identical for every value")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,11 +61,18 @@ func run(args []string, out io.Writer) error {
 	if *bo == 0 {
 		*bo = int64(16 * *k)
 	}
+	harness.SetParallelism(*workers)
 
-	var (
-		multi          *trace.Multi
-		offlineChanges int
-	)
+	policies := strings.Split(*policy, ",")
+	for i, name := range policies {
+		policies[i] = strings.TrimSpace(name)
+	}
+
+	// A CSV trace is read once and shared: trace.Multi is immutable
+	// during simulation, so concurrent policy runs may replay it. The
+	// planted workload instead depends on the policy (combined wants
+	// global levels), so each sweep point builds its own.
+	var shared *trace.Multi
 	if *traceFile != "" {
 		f, err := os.Open(*traceFile)
 		if err != nil {
@@ -67,48 +83,72 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("parse %s: %w", *traceFile, err)
 		}
-		multi = m
+		shared = m
 		*k = m.K()
-	} else {
-		pl, err := traffic.NewPlanted(traffic.PlantedParams{
-			Seed: *seed, K: *k, BO: *bo, DO: *do,
-			Phases: *phases, PhaseLen: *phaseLen, ShufflesPerPhase: 2, Fill: 0.8,
-			GlobalLevels: *policy == "combined",
-		})
-		if err != nil {
-			return err
+	}
+
+	// Each point renders its whole report section; ParRows keeps the
+	// sections in -policy order whatever the worker count.
+	t := &harness.Table{ID: "bwmulti", Headers: []string{"section"}}
+	err := harness.ParRows(t, len(policies), func(i int) ([][]string, error) {
+		name := policies[i]
+		multi := shared
+		offlineChanges := 0
+		if multi == nil {
+			pl, err := traffic.NewPlanted(traffic.PlantedParams{
+				Seed: *seed, K: *k, BO: *bo, DO: *do,
+				Phases: *phases, PhaseLen: *phaseLen, ShufflesPerPhase: 2, Fill: 0.8,
+				GlobalLevels: name == "combined",
+			})
+			if err != nil {
+				return nil, err
+			}
+			multi = pl.Multi
+			offlineChanges = pl.LocalChanges()
 		}
-		multi = pl.Multi
-		offlineChanges = pl.LocalChanges()
-	}
-
-	alloc, bwBound, err := makePolicy(*policy, *k, *bo, *do, *ba, *uo, *w)
+		alloc, bwBound, err := makePolicy(name, *k, *bo, *do, *ba, *uo, *w)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.RunMulti(multi, alloc, sim.Options{})
+		if err != nil {
+			return nil, err
+		}
+		var sb strings.Builder
+		report(&sb, name, *k, *do, bwBound, multi, res, offlineChanges)
+		return [][]string{{sb.String()}}, nil
+	})
 	if err != nil {
 		return err
 	}
-	res, err := sim.RunMulti(multi, alloc, sim.Options{})
-	if err != nil {
-		return err
+	for i, row := range t.Rows {
+		if i > 0 {
+			fmt.Fprintln(out)
+		}
+		io.WriteString(out, row[0])
 	}
+	return nil
+}
 
-	fmt.Fprintf(out, "policy:            %s\n", *policy)
-	fmt.Fprintf(out, "sessions:          %d over %d ticks\n", *k, multi.Len())
+// report renders one policy's result section.
+func report(out io.Writer, policy string, k int, do int64, bwBound bw.Rate, multi *trace.Multi, res *sim.MultiResult, offlineChanges int) {
+	fmt.Fprintf(out, "policy:            %s\n", policy)
+	fmt.Fprintf(out, "sessions:          %d over %d ticks\n", k, multi.Len())
 	fmt.Fprintf(out, "arrived bits:      %d\n", res.Report.TotalArrivals)
 	fmt.Fprintf(out, "session changes:   %d", res.SessionChanges())
 	if offlineChanges > 0 {
 		fmt.Fprintf(out, " (%.2fx the planted offline's %d, bound %dx)",
-			float64(res.SessionChanges())/float64(offlineChanges), offlineChanges, 3**k)
+			float64(res.SessionChanges())/float64(offlineChanges), offlineChanges, 3*k)
 	}
 	fmt.Fprintln(out)
 	fmt.Fprintf(out, "total-bw changes:  %d\n", res.TotalChanges())
 	fmt.Fprintf(out, "peak total bw:     %d (bound ~%d)\n", res.MaxTotalRate(), bwBound)
-	fmt.Fprintf(out, "max delay:         %d (guarantee %d)\n", res.Delay.Max, 2**do)
+	fmt.Fprintf(out, "max delay:         %d (guarantee %d)\n", res.Delay.Max, 2*do)
 	fmt.Fprintf(out, "global util:       %.3f\n", res.Report.GlobalUtil)
 	for i, d := range res.SessionDelays {
 		fmt.Fprintf(out, "  session %2d: max delay %d, changes %d\n",
 			i, d, res.Sessions[i].Changes())
 	}
-	return nil
 }
 
 func makePolicy(name string, k int, bo, do, ba int64, uo float64, w int64) (sim.MultiAllocator, bw.Rate, error) {

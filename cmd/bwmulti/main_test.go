@@ -64,3 +64,44 @@ func TestRunErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestRunMultiPolicyParallelism: a comma-separated -policy list produces
+// one report section per policy, in order, with bytes identical for
+// every -j value (the ParRows determinism contract).
+func TestRunMultiPolicyParallelism(t *testing.T) {
+	base := []string{"-policy", "phased,continuous,combined", "-k", "3", "-phases", "6", "-phaselen", "32"}
+	var ref strings.Builder
+	if err := run(append([]string{"-j", "1"}, base...), &ref); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []string{"2", "8"} {
+		var buf strings.Builder
+		if err := run(append([]string{"-j", j}, base...), &buf); err != nil {
+			t.Fatalf("-j %s: %v", j, err)
+		}
+		if buf.String() != ref.String() {
+			t.Errorf("-j %s output differs from -j 1", j)
+		}
+	}
+	out := ref.String()
+	for _, policy := range []string{"phased", "continuous", "combined"} {
+		if !strings.Contains(out, "policy:            "+policy+"\n") {
+			t.Errorf("missing section for %s:\n%s", policy, out)
+		}
+	}
+	if first := strings.Index(out, "policy:            phased"); first != 0 {
+		t.Errorf("sections out of order: phased section at offset %d", first)
+	}
+	if strings.Index(out, "continuous") > strings.Index(out, "combined") {
+		t.Errorf("sections out of order:\n%s", out)
+	}
+}
+
+// TestRunBadPolicyInList: an unknown entry anywhere in the list fails
+// the whole run.
+func TestRunBadPolicyInList(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-policy", "phased,nope"}, &buf); err == nil {
+		t.Error("unknown policy in list accepted")
+	}
+}

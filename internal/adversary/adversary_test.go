@@ -123,3 +123,80 @@ func max(a, b int) int {
 	}
 	return b
 }
+
+// silent is the degenerate adversary: it emits zero arrivals forever,
+// whatever the opponent allocates.
+type silent struct{}
+
+func (silent) Arrivals(bw.Tick, bw.Rate) bw.Bits { return 0 }
+
+// TestDuelZeroTicks: an n = 0 duel is legal and trivially drained — an
+// empty realized trace, nothing served, no spikes fired, and no error
+// from the empty-trace construction.
+func TestDuelZeroTicks(t *testing.T) {
+	adv := &DropSpiker{Spike: 64, Threshold: 0, MinGap: 4, MaxGap: 16}
+	alloc := sim.AllocatorFunc(func(_ bw.Tick, _, queued bw.Bits) bw.Rate {
+		return bw.CeilDiv(queued, 2)
+	})
+	res, err := Duel(alloc, adv, 0, sim.Options{})
+	if err != nil {
+		t.Fatalf("zero-tick Duel: %v", err)
+	}
+	if res.Trace.Len() != 0 || res.Trace.Total() != 0 {
+		t.Errorf("trace len %d total %d, want empty", res.Trace.Len(), res.Trace.Total())
+	}
+	if res.Delay.Served != 0 || res.Delay.Max != 0 {
+		t.Errorf("delay stats %+v, want zero", res.Delay)
+	}
+	if adv.Fired() != 0 {
+		t.Errorf("Fired = %d in a zero-tick duel", adv.Fired())
+	}
+}
+
+// TestDuelSilentAdversary: an adversary that never sends is the other
+// degenerate closed loop. The duel terminates right after the horizon
+// (nothing to drain), the realized trace is all zeros, and a
+// queue-driven allocator never allocates.
+func TestDuelSilentAdversary(t *testing.T) {
+	var peak bw.Rate
+	alloc := sim.AllocatorFunc(func(_ bw.Tick, _, queued bw.Bits) bw.Rate {
+		r := bw.CeilDiv(queued, 2)
+		if r > peak {
+			peak = r
+		}
+		return r
+	})
+	res, err := Duel(alloc, silent{}, 256, sim.Options{})
+	if err != nil {
+		t.Fatalf("silent Duel: %v", err)
+	}
+	if res.Trace.Len() != 256 {
+		t.Errorf("trace len = %d, want the full 256-tick horizon", res.Trace.Len())
+	}
+	if res.Trace.Total() != 0 {
+		t.Errorf("silent adversary emitted %d bits", res.Trace.Total())
+	}
+	if peak != 0 {
+		t.Errorf("allocator peaked at %d against a silent adversary", peak)
+	}
+	if res.Delay.Served != 0 || res.Delay.Max != 0 {
+		t.Errorf("delay stats %+v, want zero", res.Delay)
+	}
+}
+
+// TestDuelSilentAgainstPaperAlgorithm: the paper's single-session
+// algorithm also stays at zero against a silent adversary — zero
+// arrivals keep the tracker at zero, so no allocation change is ever
+// made (no free changes charged to an idle session).
+func TestDuelSilentAgainstPaperAlgorithm(t *testing.T) {
+	alloc := core.MustNewSingleSession(core.SingleParams{BA: 256, DO: 8, UO: 0.5, W: 16})
+	res, err := Duel(alloc, silent{}, 256, sim.Options{})
+	if err != nil {
+		t.Fatalf("silent Duel: %v", err)
+	}
+	for _, tick := range []bw.Tick{0, 128, 255} {
+		if r := res.Schedule.At(tick); r != 0 {
+			t.Errorf("allocation %d at tick %d against a silent adversary", r, tick)
+		}
+	}
+}

@@ -37,6 +37,7 @@ import (
 	"dynbw/internal/bw"
 	"dynbw/internal/obs"
 	"dynbw/internal/queue"
+	"dynbw/internal/route"
 	"dynbw/internal/sim"
 )
 
@@ -75,8 +76,28 @@ type Config struct {
 	Addr string
 	// Slots is the number of session slots k served by the allocator.
 	Slots int
-	// Alloc divides the shared pool among the slots once per tick.
+	// Alloc divides the shared pool among the slots once per tick
+	// (single-link mode; ignored when Links > 1).
 	Alloc sim.MultiAllocator
+	// Links, when > 1, partitions the Slots evenly across that many
+	// backend links (Slots must divide evenly): sessions are placed onto
+	// a link by Router at OPEN time and each link's slot range is served
+	// by its own allocator from LinkAllocs. Zero or one means the classic
+	// single-link gateway.
+	Links int
+	// Router places sessions onto links; required when Links > 1. Its K()
+	// must equal Links and its capacities are in slot units (Slots/Links
+	// per link). Attach observers/metrics to it before starting.
+	Router route.Router
+	// LinkAllocs holds one allocator per link, each dividing that link's
+	// bandwidth among Slots/Links slots; required when Links > 1.
+	LinkAllocs []sim.MultiAllocator
+	// RebalanceEvery, when positive (and Router implements
+	// route.Rebalancer), migrates up to RebalanceLimit live sessions
+	// between links every that many ticks to even out slot occupancy.
+	RebalanceEvery bw.Tick
+	// RebalanceLimit bounds migrations per rebalance pass; zero means 1.
+	RebalanceLimit int
 	// Ticks advances the allocator: one allocation round per value.
 	Ticks <-chan time.Time
 	// IdleTimeout, when positive, bounds how long a connection may sit
@@ -101,11 +122,25 @@ type Config struct {
 	Log *slog.Logger
 }
 
-// Gateway serves k session slots with a multi-session allocator.
+// Gateway serves k session slots with a multi-session allocator — or,
+// in multi-link mode, k slots statically partitioned across several
+// links, each with its own allocator, with a routing policy choosing
+// the link at OPEN time.
+//
+// In multi-link mode wire session IDs are decoupled from slot indices:
+// each OPEN mints a fresh external ID and the slot behind it may change
+// when a rebalance pass migrates the session (queue, pending bits and
+// all) to another link. Single-link mode keeps the classic ID == slot
+// behavior.
 type Gateway struct {
 	ln          net.Listener
-	alloc       sim.MultiAllocator
-	k           int
+	allocs      []sim.MultiAllocator // one per link
+	k           int                  // total slots
+	links       int                  // number of links (1 = classic)
+	lm          int                  // slots per link (k/links)
+	router      route.Router         // nil in single-link mode
+	rebalEvery  bw.Tick
+	rebalLimit  int
 	ticks       <-chan time.Time
 	idleTimeout time.Duration
 
@@ -121,6 +156,9 @@ type Gateway struct {
 	lastRates []bw.Rate             // guarded by mu; rates applied on the most recent tick
 	now       bw.Tick               // guarded by mu
 	conns     map[net.Conn]struct{} // guarded by mu
+	nextExt   int                   // guarded by mu; next external session ID (multi-link)
+	extSlot   map[int]int           // guarded by mu; external ID -> slot
+	slotExt   []int                 // guarded by mu; slot -> external ID, -1 when free
 
 	wg         sync.WaitGroup
 	acceptStop chan struct{} // closed when the listener stops accepting
@@ -211,8 +249,38 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 	if cfg.Slots < 1 {
 		return nil, fmt.Errorf("gateway: k = %d", cfg.Slots)
 	}
-	if cfg.Alloc == nil || cfg.Ticks == nil {
-		return nil, fmt.Errorf("gateway: nil allocator or tick source")
+	if cfg.Ticks == nil {
+		return nil, fmt.Errorf("gateway: nil tick source")
+	}
+	links := cfg.Links
+	if links < 1 {
+		links = 1
+	}
+	var allocs []sim.MultiAllocator
+	if links == 1 && cfg.Router == nil {
+		if cfg.Alloc == nil {
+			return nil, fmt.Errorf("gateway: nil allocator")
+		}
+		allocs = []sim.MultiAllocator{cfg.Alloc}
+	} else {
+		if cfg.Slots%links != 0 {
+			return nil, fmt.Errorf("gateway: %d slots do not divide across %d links", cfg.Slots, links)
+		}
+		if cfg.Router == nil {
+			return nil, fmt.Errorf("gateway: %d links but no router", links)
+		}
+		if cfg.Router.K() != links {
+			return nil, fmt.Errorf("gateway: router spans %d links, config says %d", cfg.Router.K(), links)
+		}
+		if len(cfg.LinkAllocs) != links {
+			return nil, fmt.Errorf("gateway: %d link allocators for %d links", len(cfg.LinkAllocs), links)
+		}
+		for i, a := range cfg.LinkAllocs {
+			if a == nil {
+				return nil, fmt.Errorf("gateway: nil allocator for link %d", i)
+			}
+		}
+		allocs = append([]sim.MultiAllocator(nil), cfg.LinkAllocs...)
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
@@ -220,7 +288,15 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 	}
 	g := newBare(cfg.Slots)
 	g.ln = ln
-	g.alloc = cfg.Alloc
+	g.allocs = allocs
+	g.links = links
+	g.lm = cfg.Slots / links
+	g.router = cfg.Router
+	g.rebalEvery = cfg.RebalanceEvery
+	g.rebalLimit = cfg.RebalanceLimit
+	if g.rebalLimit < 1 {
+		g.rebalLimit = 1
+	}
 	g.ticks = cfg.Ticks
 	g.idleTimeout = cfg.IdleTimeout
 	g.o = cfg.Observer
@@ -238,6 +314,8 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 func newBare(k int) *Gateway {
 	g := &Gateway{
 		k:          k,
+		links:      1,
+		lm:         k,
 		pending:    make([]bw.Bits, k),
 		used:       make([]bool, k),
 		queues:     make([]queue.FIFO, k),
@@ -247,10 +325,15 @@ func newBare(k int) *Gateway {
 		closing:    make(chan struct{}),
 		done:       make(chan struct{}),
 		conns:      make(map[net.Conn]struct{}),
+		extSlot:    make(map[int]int),
+		slotExt:    make([]int, k),
 		m:          &gwMetrics{},
 	}
 	for i := range g.scheds {
 		g.scheds[i] = &bw.Schedule{}
+	}
+	for i := range g.slotExt {
+		g.slotExt[i] = -1
 	}
 	return g
 }
@@ -325,8 +408,13 @@ func (g *Gateway) Shutdown(grace time.Duration) Stats {
 // SessionInfo is one slot's live state, served as JSON by the admin
 // /sessions endpoint.
 type SessionInfo struct {
-	Slot     int     `json:"slot"`
-	Open     bool    `json:"open"`
+	Slot int `json:"slot"`
+	// Link is the backend link owning this slot (always 0 single-link).
+	Link int  `json:"link"`
+	Open bool `json:"open"`
+	// Ext is the wire session ID bound to the slot, -1 when free (equal
+	// to Slot in single-link mode).
+	Ext      int     `json:"ext"`
 	Rate     bw.Rate `json:"rate"`
 	Queued   bw.Bits `json:"queued"`
 	Served   bw.Bits `json:"served"`
@@ -340,9 +428,17 @@ func (g *Gateway) Sessions() []SessionInfo {
 	defer g.mu.Unlock()
 	out := make([]SessionInfo, g.k)
 	for i := 0; i < g.k; i++ {
+		ext := i
+		if g.router != nil {
+			ext = g.slotExt[i]
+		} else if !g.used[i] {
+			ext = -1
+		}
 		out[i] = SessionInfo{
 			Slot:     i,
+			Link:     i / g.lm,
 			Open:     g.used[i],
+			Ext:      ext,
 			Rate:     g.lastRates[i],
 			Queued:   g.queues[i].Bits(),
 			Served:   g.queues[i].Served(),
@@ -360,7 +456,9 @@ func (g *Gateway) emit(e obs.Event) {
 	}
 }
 
-// tickLoop owns the allocator and the queues.
+// tickLoop owns the allocators and the queues. In multi-link mode each
+// link's allocator sees only its own slot range, and every rebalEvery
+// ticks a rebalance pass may migrate sessions between links.
 func (g *Gateway) tickLoop() {
 	defer close(g.done)
 	arrived := make([]bw.Bits, g.k)
@@ -381,18 +479,25 @@ func (g *Gateway) tickLoop() {
 				queued[i] = g.queues[i].Bits()
 				arrivedBits += arrived[i]
 			}
-			rates := g.alloc.Rates(t, arrived, queued)
-			for i := 0; i < g.k && i < len(rates); i++ {
-				r := rates[i]
-				if r < 0 {
-					r = 0
+			for l := 0; l < g.links; l++ {
+				lo, hi := l*g.lm, (l+1)*g.lm
+				rates := g.allocs[l].Rates(t, arrived[lo:hi], queued[lo:hi])
+				for i := 0; i < g.lm && i < len(rates); i++ {
+					s := lo + i
+					r := rates[i]
+					if r < 0 {
+						r = 0
+					}
+					g.scheds[s].Set(t, r)
+					servedBits += g.queues[s].Serve(t, r)
+					if r != g.lastRates[s] {
+						changes++
+						g.lastRates[s] = r
+					}
 				}
-				g.scheds[i].Set(t, r)
-				servedBits += g.queues[i].Serve(t, r)
-				if r != g.lastRates[i] {
-					changes++
-					g.lastRates[i] = r
-				}
+			}
+			if g.rebalEvery > 0 && t > 0 && t%g.rebalEvery == 0 {
+				g.rebalance()
 			}
 			g.now++
 			g.mu.Unlock()
@@ -401,6 +506,44 @@ func (g *Gateway) tickLoop() {
 			g.m.servedBits.Add(int64(servedBits))
 			g.m.allocChanges.Add(changes)
 		}
+	}
+}
+
+// rebalance asks the router for load-evening moves and migrates each
+// moved session's slot state — queue, pending bits, occupancy — to a
+// free slot on the destination link. The external session ID is stable
+// across the move, so clients notice nothing. Callers must hold mu.
+func (g *Gateway) rebalance() {
+	rb, ok := g.router.(route.Rebalancer)
+	if !ok {
+		return
+	}
+	for _, mv := range rb.Rebalance(g.rebalLimit) {
+		src, ok := g.extSlot[mv.Session]
+		if !ok {
+			continue
+		}
+		dst := -1
+		for s := int(mv.To) * g.lm; s < (int(mv.To)+1)*g.lm; s++ {
+			if !g.used[s] {
+				dst = s
+				break
+			}
+		}
+		if dst < 0 {
+			// The router admitted the move, so its slot accounting says
+			// there is room; a full link here means the two views diverged.
+			g.log.Log(slog.LevelWarn, "rebalance", "gateway: no free slot on rebalance target",
+				"session", mv.Session, "to", int(mv.To))
+			continue
+		}
+		g.queues[dst] = g.queues[src]
+		g.queues[src] = queue.FIFO{}
+		g.pending[dst] = g.pending[src]
+		g.pending[src] = 0
+		g.used[src], g.used[dst] = false, true
+		g.slotExt[src], g.slotExt[dst] = -1, mv.Session
+		g.extSlot[mv.Session] = dst
 	}
 }
 
@@ -444,26 +587,75 @@ func (g *Gateway) acceptLoop() {
 	}
 }
 
-// openSession claims a free slot.
+// openSession claims a slot and returns the session ID handed to the
+// client. Single-link mode scans for a free slot and the ID is the slot
+// index; multi-link mode asks the router for a link, mints a fresh
+// external ID, and binds it to a free slot on that link.
 func (g *Gateway) openSession() (int, error) {
 	g.mu.Lock()
-	for i := 0; i < g.k; i++ {
-		if !g.used[i] {
-			g.used[i] = true
-			g.mu.Unlock()
-			g.m.sessions.Add(1)
-			return i, nil
+	if g.router == nil {
+		for i := 0; i < g.k; i++ {
+			if !g.used[i] {
+				g.used[i] = true
+				g.mu.Unlock()
+				g.m.sessions.Add(1)
+				return i, nil
+			}
+		}
+		g.mu.Unlock()
+		return 0, ErrSessionLimit
+	}
+	ext := g.nextExt
+	l := g.router.Place(route.Session{ID: ext, Rate: 1})
+	if l == route.Blocked {
+		g.mu.Unlock()
+		return 0, ErrSessionLimit
+	}
+	slot := -1
+	for s := int(l) * g.lm; s < (int(l)+1)*g.lm; s++ {
+		if !g.used[s] {
+			slot = s
+			break
 		}
 	}
+	if slot < 0 {
+		// Router and gateway occupancy are updated in lockstep under mu,
+		// so an admitted link always has a free slot; recover anyway.
+		g.router.Release(ext)
+		g.mu.Unlock()
+		return 0, ErrSessionLimit
+	}
+	g.nextExt++
+	g.used[slot] = true
+	g.slotExt[slot] = ext
+	g.extSlot[ext] = slot
 	g.mu.Unlock()
-	return 0, ErrSessionLimit
+	g.m.sessions.Add(1)
+	return ext, nil
 }
 
 func (g *Gateway) releaseSession(id int) {
 	g.mu.Lock()
-	g.used[id] = false
+	if g.router == nil {
+		g.used[id] = false
+	} else if slot, ok := g.extSlot[id]; ok {
+		g.used[slot] = false
+		g.slotExt[slot] = -1
+		delete(g.extSlot, id)
+		g.router.Release(id)
+	}
 	g.mu.Unlock()
 	g.m.sessions.Add(-1)
+}
+
+// slot maps a wire session ID to its current slot index. Callers must
+// hold mu and must have validated the ID (it is the connection's owned
+// session).
+func (g *Gateway) slot(id int) int {
+	if g.router == nil {
+		return id
+	}
+	return g.extSlot[id]
 }
 
 // handle serves one client connection: a deadline-bounded loop of
@@ -573,7 +765,7 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, owned *int) error {
 			return fmt.Errorf("%w: DATA session=%d bits=%d (own %d)", errProtocol, id, bits, *owned)
 		}
 		g.mu.Lock()
-		g.pending[id] += bits
+		g.pending[g.slot(id)] += bits
 		g.mu.Unlock()
 	case typeStats:
 		var body [4]byte
@@ -585,10 +777,11 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, owned *int) error {
 			return fmt.Errorf("%w: STATS session=%d (own %d)", errProtocol, id, *owned)
 		}
 		g.mu.Lock()
-		served := g.queues[id].Served()
-		queued := g.queues[id].Bits()
-		maxDelay := g.queues[id].MaxDelay()
-		changes := g.scheds[id].Changes()
+		slot := g.slot(id)
+		served := g.queues[slot].Served()
+		queued := g.queues[slot].Bits()
+		maxDelay := g.queues[slot].MaxDelay()
+		changes := g.scheds[slot].Changes()
 		g.mu.Unlock()
 		var reply [statsReplyLen]byte
 		reply[0] = typeStatsR

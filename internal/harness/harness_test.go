@@ -36,7 +36,7 @@ func TestTableCSV(t *testing.T) {
 }
 
 func TestRegistryCompleteness(t *testing.T) {
-	wantIDs := []string{"FIG1", "FIG2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20"}
+	wantIDs := []string{"FIG1", "FIG2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19", "E20", "E23", "E24", "E25"}
 	all := All()
 	if len(all) != len(wantIDs) {
 		t.Fatalf("registry has %d experiments, want %d", len(all), len(wantIDs))

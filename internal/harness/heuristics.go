@@ -85,6 +85,9 @@ func All() []Experiment {
 		{ID: "E18", Title: "Workload characterization", Reproduces: "Section 1 traffic premise", Run: WorkloadCharacterization},
 		{ID: "E19", Title: "Utilization window W sweep", Reproduces: "Section 2 (window discussion)", Run: WindowSweep},
 		{ID: "E20", Title: "Delay-slack trade-off", Reproduces: "Section 1.1 Remark", Run: SlackSweep},
+		{ID: "E23", Title: "Routing-tier blocking", Reproduces: "ROADMAP item 4 (balanced allocation)", Run: RoutingBlocking},
+		{ID: "E24", Title: "Routing-tier balance vs k", Reproduces: "ROADMAP item 4 (power of two choices)", Run: RoutingBalance},
+		{ID: "E25", Title: "Routing-tier change+reroute cost", Reproduces: "ROADMAP item 4 (b-matching cost)", Run: RoutingCost},
 	}
 }
 

@@ -1,0 +1,225 @@
+package harness
+
+import (
+	"fmt"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/metrics"
+	"dynbw/internal/route"
+	"dynbw/internal/sim"
+)
+
+// The routing experiments (E23-E25) exercise the two-level system of
+// ROADMAP item 4: a routing tier places sessions across k backend
+// links (internal/route) and each link serves its routed stream with
+// the paper's single-session algorithm. They compare the three
+// placement policies of the balanced-allocation literature — greedy
+// least-loaded, DAR with trunk reservation, and power-of-two-choices —
+// on blocking, balance, and the combined change+reroute cost.
+
+// routeAlloc is the per-link allocation policy every routing experiment
+// replays through: the paper's single-session algorithm with B_A equal
+// to the link capacity.
+func routeAlloc(cap bw.Rate) (sim.Allocator, error) {
+	return core.NewSingleSession(core.SingleParams{BA: cap, DO: 8, UO: 0.5, W: 16})
+}
+
+// routePolicies is the fixed policy grid. Reserve is one session's
+// nominal rate; seeds are per-policy constants so every sweep point is
+// self-contained.
+var routePolicies = []string{"greedy", "dar", "p2c"}
+
+func routeRouter(policy string, caps []bw.Rate, reserve bw.Rate) (route.Router, error) {
+	switch policy {
+	case "greedy":
+		return route.NewGreedy(caps), nil
+	case "dar":
+		return route.NewDAR(caps, reserve, 101), nil
+	case "p2c":
+		return route.NewP2C(caps, 211), nil
+	}
+	return nil, fmt.Errorf("unknown route policy %q", policy)
+}
+
+// RoutingBlocking is experiment E23: blocking probability and overflow
+// pressure across placement policies under an offered load near the
+// aggregate capacity, for correlated (MMPP) and heavy-tailed traffic.
+func RoutingBlocking() (*Table, error) {
+	t := &Table{
+		ID:    "E23",
+		Title: "Routing tier: blocking and overflow across placement policies",
+		Note: "Offered nominal load ~ aggregate capacity (4 links x 4 session slots). " +
+			"Expected: greedy blocks least (full information), DAR pays for trunk " +
+			"reservation with extra blocking but shields direct traffic, p2c sits " +
+			"between with two probes; overflow ticks track how bursty traffic " +
+			"escapes the nominal reservation.",
+		Headers: []string{
+			"traffic", "policy", "offered", "placed", "blocked", "block_rate",
+			"overflow_ticks", "changes", "max_delay",
+		},
+	}
+	type cell struct{ traffic, policy string }
+	var grid []cell
+	for _, traffic := range []string{"mmpp", "heavytail"} {
+		for _, policy := range routePolicies {
+			grid = append(grid, cell{traffic, policy})
+		}
+	}
+	err := ParRows(t, len(grid), func(i int) ([][]string, error) {
+		c := grid[i]
+		caps := route.Uniform(4, 64)
+		r, err := routeRouter(c.policy, caps, 16)
+		if err != nil {
+			return nil, err
+		}
+		w := route.Workload{
+			Seed: 23, Horizon: 2048, MeanGap: 2, MeanHold: 48,
+			Rate: 16, Traffic: c.traffic,
+		}
+		res, err := route.Run(w, route.Config{Router: r, Caps: caps, Alloc: routeAlloc})
+		if err != nil {
+			return nil, fmt.Errorf("E23 %s/%s: %w", c.traffic, c.policy, err)
+		}
+		return [][]string{{
+			c.traffic, c.policy,
+			itoa(res.Offered), itoa(res.Placed), itoa(res.Blocked),
+			f3(float64(res.Blocked) / float64(res.Offered)),
+			itoa(res.OverflowTicks), itoa(res.Changes), itoa(res.MaxDelay),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RoutingBalance is experiment E24: how evenly each placement policy
+// spreads traffic across the links as k grows, measured by Jain's
+// fairness index over per-link routed bits — the balanced-allocation
+// story (two choices nearly match full information; DAR's home-link
+// bias shows up as imbalance).
+func RoutingBalance() (*Table, error) {
+	t := &Table{
+		ID:    "E24",
+		Title: "Routing tier: per-link balance vs link count",
+		Note: "Moderate load, MMPP sessions. jain_bits is Jain's fairness over " +
+			"per-link routed bits (1 = perfectly even); max_share is the busiest " +
+			"link's fraction of all routed bits (1/k is ideal).",
+		Headers: []string{
+			"k", "policy", "placed", "blocked", "jain_bits", "max_share", "max_delay",
+		},
+	}
+	type cell struct {
+		k      int
+		policy string
+	}
+	var grid []cell
+	for _, k := range []int{2, 4, 8} {
+		for _, policy := range routePolicies {
+			grid = append(grid, cell{k, policy})
+		}
+	}
+	err := ParRows(t, len(grid), func(i int) ([][]string, error) {
+		c := grid[i]
+		caps := route.Uniform(c.k, 64)
+		r, err := routeRouter(c.policy, caps, 8)
+		if err != nil {
+			return nil, err
+		}
+		w := route.Workload{
+			Seed: 24, Horizon: 4096, MeanGap: 2, MeanHold: 32,
+			Rate: 8, Traffic: "mmpp",
+		}
+		res, err := route.Run(w, route.Config{Router: r, Caps: caps, Alloc: routeAlloc})
+		if err != nil {
+			return nil, fmt.Errorf("E24 k=%d/%s: %w", c.k, c.policy, err)
+		}
+		shares := make([]float64, len(res.LinkBits))
+		var total bw.Bits
+		for _, b := range res.LinkBits {
+			total += b
+		}
+		maxShare := 0.0
+		for j, b := range res.LinkBits {
+			shares[j] = float64(b)
+			if total > 0 {
+				if s := float64(b) / float64(total); s > maxShare {
+					maxShare = s
+				}
+			}
+		}
+		return [][]string{{
+			itoa(c.k), c.policy,
+			itoa(res.Placed), itoa(res.Blocked),
+			f3(metrics.JainFairness(shares)), f3(maxShare), itoa(res.MaxDelay),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// RoutingCost is experiment E25: the combined two-level cost — the
+// paper's allocation changes plus one per reroute (the b-matching
+// reconfiguration measure) — as the rebalance cadence varies, under
+// heavy-tailed traffic. Rebalancing buys balance with reroutes and
+// perturbs each link's stream, which feeds back into allocation
+// changes.
+func RoutingCost() (*Table, error) {
+	t := &Table{
+		ID:    "E25",
+		Title: "Routing tier: change+reroute cost vs rebalance cadence",
+		Note: "total_cost = allocation changes (paper's measure, summed over links) " +
+			"+ reroutes (one per migration). interval 0 never rebalances. " +
+			"Expected: frequent rebalance improves jain_bits but pays reroutes; " +
+			"the cost-optimal cadence is policy-dependent.",
+		Headers: []string{
+			"policy", "interval", "placed", "reroutes", "changes", "total_cost",
+			"jain_bits", "max_delay",
+		},
+	}
+	type cell struct {
+		policy   string
+		interval bw.Tick
+	}
+	var grid []cell
+	for _, policy := range routePolicies {
+		for _, interval := range []bw.Tick{0, 32, 128} {
+			grid = append(grid, cell{policy, interval})
+		}
+	}
+	err := ParRows(t, len(grid), func(i int) ([][]string, error) {
+		c := grid[i]
+		caps := route.Uniform(4, 64)
+		r, err := routeRouter(c.policy, caps, 8)
+		if err != nil {
+			return nil, err
+		}
+		w := route.Workload{
+			Seed: 25, Horizon: 4096, MeanGap: 2, MeanHold: 40,
+			Rate: 8, Traffic: "heavytail",
+		}
+		res, err := route.Run(w, route.Config{
+			Router: r, Caps: caps, Alloc: routeAlloc,
+			RebalanceEvery: c.interval, RebalanceLimit: 2,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("E25 %s/%d: %w", c.policy, c.interval, err)
+		}
+		shares := make([]float64, len(res.LinkBits))
+		for j, b := range res.LinkBits {
+			shares[j] = float64(b)
+		}
+		return [][]string{{
+			c.policy, itoa(c.interval),
+			itoa(res.Placed), itoa(res.Reroutes), itoa(res.Changes), itoa(res.TotalCost),
+			f3(metrics.JainFairness(shares)), itoa(res.MaxDelay),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -13,7 +13,9 @@ import (
 // obs.Observer events — so a policy method that writes an allocation
 // field (declared bw.Rate or []bw.Rate on a struct with a Rate/Rates
 // method) without emitting an event silently corrupts the live cost
-// measure.
+// measure. The routing tier (internal/route) counts reroutes the same
+// way, so its Policy type — bw.Rate load bookkeeping behind a Place
+// method — is held to the same rule.
 //
 // The rule, per allocator type:
 //
@@ -26,8 +28,8 @@ import (
 //     not a change.
 //
 // The check is syntactic, so it keeps working on packages with type
-// errors, and it is scoped to the policy package (internal/core) plus
-// lint testdata.
+// errors, and it is scoped to the policy packages (internal/core and
+// internal/route) plus lint testdata.
 type EmitOnChange struct {
 	// Match selects the packages the invariant applies to.
 	Match func(importPath string) bool
@@ -36,7 +38,9 @@ type EmitOnChange struct {
 // NewEmitOnChange returns the check with its default scope.
 func NewEmitOnChange() *EmitOnChange {
 	return &EmitOnChange{Match: func(path string) bool {
-		return strings.Contains(path, "internal/core") || strings.Contains(path, "testdata")
+		return strings.Contains(path, "internal/core") ||
+			strings.Contains(path, "internal/route") ||
+			strings.Contains(path, "testdata")
 	}}
 }
 
@@ -111,7 +115,9 @@ func (c *EmitOnChange) runPackage(pkg *Package, report Reporter) {
 			if recvType == "" {
 				continue
 			}
-			if name := fd.Name.Name; name == "Rate" || name == "Rates" {
+			// Rate/Rates mark the core allocators; Place marks the routing
+			// tier's load-reserving policies.
+			if name := fd.Name.Name; name == "Rate" || name == "Rates" || name == "Place" {
 				hasAllocMethod[recvType] = true
 			}
 			var recvName string

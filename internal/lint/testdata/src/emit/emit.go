@@ -121,3 +121,51 @@ type NotAnAllocator struct {
 func (n *NotAnAllocator) Set(r bw.Rate) {
 	n.cur = r
 }
+
+// BadRouter mirrors the routing tier's shape: a Place method guards a
+// per-link bw.Rate load vector. A load write without an emission is a
+// silent reroute — it corrupts the reconfiguration cost measure the
+// same way a silent allocation change corrupts the change count.
+type BadRouter struct {
+	o    observer
+	load []bw.Rate
+}
+
+func (r *BadRouter) Place(id int) int {
+	r.load[0] += 2 // want "exported method BadRouter.Place writes allocation field"
+	return 0
+}
+
+// GoodRouter is the internal/route idiom: unexported writers whose
+// method callers each emit through an emit* helper.
+type GoodRouter struct {
+	o    observer
+	load []bw.Rate
+}
+
+func (r *GoodRouter) Place(id int) int {
+	r.place(id)
+	r.emitPlace(id)
+	return 0
+}
+
+func (r *GoodRouter) Rebalance() {
+	r.place(1)
+	r.emitReroute(1)
+}
+
+func (r *GoodRouter) place(id int) {
+	r.load[0]++
+}
+
+func (r *GoodRouter) emitPlace(id int) {
+	if r.o != nil {
+		r.o.Event(4)
+	}
+}
+
+func (r *GoodRouter) emitReroute(id int) {
+	if r.o != nil {
+		r.o.Event(5)
+	}
+}

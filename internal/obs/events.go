@@ -34,6 +34,18 @@ const (
 	// EventStageReset: a stage boundary (multi-session RESET, combined
 	// global reset, or a growth of the global bandwidth estimate).
 	EventStageReset
+	// EventRoutePlace: the routing tier placed a session on a link.
+	EventRoutePlace
+	// EventRouteBlock: the routing tier rejected a session (no link with
+	// room under the policy's admission rule).
+	EventRouteBlock
+	// EventRouteReroute: a rebalance pass migrated a live session to
+	// another link — one reconfiguration in the b-matching cost measure,
+	// counted alongside allocation changes.
+	EventRouteReroute
+	// EventRouteRelease: a routed session departed and freed its link
+	// capacity.
+	EventRouteRelease
 )
 
 // String returns the JSONL spelling of the event type.
@@ -55,6 +67,14 @@ func (t EventType) String() string {
 		return "overflow"
 	case EventStageReset:
 		return "stage_reset"
+	case EventRoutePlace:
+		return "route_place"
+	case EventRouteBlock:
+		return "route_block"
+	case EventRouteReroute:
+		return "route_reroute"
+	case EventRouteRelease:
+		return "route_release"
 	default:
 		return fmt.Sprintf("event_%d", uint8(t))
 	}
@@ -68,16 +88,22 @@ func (t EventType) MarshalJSON() ([]byte, error) {
 // Event is one allocation-trace entry. Session is the slot index, or -1
 // for events not tied to one session (stage resets, failed opens). Rule
 // names the policy decision that triggered a renegotiation (e.g.
-// "phase-raise", "test-spill", "reduce", "stage-reset", "global-reset").
+// "phase-raise", "test-spill", "reduce", "stage-reset", "global-reset")
+// or, for route_* events, the routing policy ("greedy", "dar", "p2c").
+// Link identifies the backend link of a routing event (the destination
+// link for placements and reroutes); FromLink is the source link of a
+// reroute, and -1 otherwise.
 type Event struct {
-	Seq     uint64    `json:"seq"`
-	Time    time.Time `json:"time"`
-	Type    EventType `json:"type"`
-	Session int       `json:"session"`
-	Tick    bw.Tick   `json:"tick,omitempty"`
-	OldRate bw.Rate   `json:"old_rate,omitempty"`
-	NewRate bw.Rate   `json:"new_rate,omitempty"`
-	Rule    string    `json:"rule,omitempty"`
+	Seq      uint64    `json:"seq"`
+	Time     time.Time `json:"time"`
+	Type     EventType `json:"type"`
+	Session  int       `json:"session"`
+	Tick     bw.Tick   `json:"tick,omitempty"`
+	OldRate  bw.Rate   `json:"old_rate,omitempty"`
+	NewRate  bw.Rate   `json:"new_rate,omitempty"`
+	Link     int       `json:"link,omitempty"`
+	FromLink int       `json:"from_link,omitempty"`
+	Rule     string    `json:"rule,omitempty"`
 }
 
 // Observer receives allocation events. The core policies, the gateway

@@ -1,0 +1,56 @@
+package route
+
+import "dynbw/internal/bw"
+
+// NewDAR returns a Dynamic Alternative Routing router with trunk
+// reservation — the telephone-network policy of the Anagnostopoulos–
+// Kontoyiannis–Upfal steady-state analysis, adapted from trunk groups
+// to bandwidth links:
+//
+//   - every session has a home link (its ID modulo k, the analogue of
+//     the direct route); if the home link can admit it, it goes there;
+//   - otherwise the session overflows to the home's current
+//     *alternative* link, which admits it only if at least reserve
+//     rate remains free afterwards — the trunk reservation that keeps
+//     overflow traffic from crowding out a link's own direct sessions;
+//   - if the alternative rejects it too, the session is blocked and
+//     the home's alternative is re-drawn uniformly at random, so a
+//     congested alternative is abandoned (DAR's sticky re-randomize
+//     rule).
+//
+// reserve <= 0 disables trunk reservation.
+func NewDAR(caps []bw.Rate, reserve bw.Rate, seed uint64) *Policy {
+	if reserve < 0 {
+		reserve = 0
+	}
+	p := newPolicy("dar", caps, seed, darChoose)
+	p.reserve = reserve
+	return p
+}
+
+// darChoose tries the home link, then the sticky alternative under
+// trunk reservation, re-randomizing the alternative on failure. Callers
+// must hold p.mu.
+func darChoose(p *Policy, s Session) LinkID {
+	k := len(p.caps)
+	home := LinkID(s.ID % k)
+	if home < 0 {
+		home += LinkID(k)
+	}
+	if p.fits(home, s.Rate, 0) {
+		return home
+	}
+	if k == 1 {
+		return Blocked
+	}
+	alt := p.alt[home]
+	if alt == Blocked || alt == home {
+		alt = p.randomOther(home)
+		p.alt[home] = alt
+	}
+	if p.fits(alt, s.Rate, p.reserve) {
+		return alt
+	}
+	p.alt[home] = p.randomOther(home)
+	return Blocked
+}

@@ -1,0 +1,28 @@
+package route
+
+import "dynbw/internal/bw"
+
+// NewGreedy returns the greedy least-loaded router: every placement
+// inspects all k links and picks the one with the lowest load fraction
+// that can admit the session (lowest index on ties). This is the
+// full-information d=k extreme of balanced allocation — the best
+// balance a load-oblivious policy can hope to beat, at the cost of
+// touching every link's state per placement.
+func NewGreedy(caps []bw.Rate) *Policy {
+	return newPolicy("greedy", caps, 0, greedyChoose)
+}
+
+// greedyChoose picks the least-loaded link with room. Callers must hold
+// p.mu.
+func greedyChoose(p *Policy, s Session) LinkID {
+	best := Blocked
+	for l := 0; l < len(p.caps); l++ {
+		if !p.fits(LinkID(l), s.Rate, 0) {
+			continue
+		}
+		if best == Blocked || p.frac(LinkID(l)) < p.frac(best) {
+			best = LinkID(l)
+		}
+	}
+	return best
+}

@@ -1,0 +1,90 @@
+package route
+
+import (
+	"dynbw/internal/bw"
+	"dynbw/internal/sim"
+	"dynbw/internal/trace"
+)
+
+// Link is one backend of the routing tier: it accumulates the per-tick
+// arrivals of every session routed to it, and then replays the combined
+// stream through one of the existing single-link allocation policies.
+// The accumulator and the embedded sim.Runner both keep their grown
+// storage across Reset, so a Link can be reused run after run without
+// allocating — the same contract as sim.Runner itself.
+//
+// A Link is not safe for concurrent use; in the routing simulation each
+// link is fed from the single event loop.
+type Link struct {
+	id       LinkID
+	cap      bw.Rate
+	arrivals []bw.Bits // accumulated routed bits per tick
+	runner   sim.Runner
+}
+
+// NewLink returns an empty link with the given identity and capacity.
+func NewLink(id LinkID, cap bw.Rate) *Link {
+	return &Link{id: id, cap: cap}
+}
+
+// ID returns the link's identity.
+func (l *Link) ID() LinkID { return l.id }
+
+// Cap returns the link's capacity.
+func (l *Link) Cap() bw.Rate { return l.cap }
+
+// Add accumulates bits arriving on this link at tick t, growing the
+// horizon as needed. Negative ticks and non-positive amounts are no-ops.
+func (l *Link) Add(t bw.Tick, bits bw.Bits) {
+	if t < 0 || bits <= 0 {
+		return
+	}
+	for bw.Tick(len(l.arrivals)) <= t {
+		l.arrivals = append(l.arrivals, 0)
+	}
+	l.arrivals[t] += bits
+}
+
+// Horizon returns the number of ticks with recorded arrivals.
+func (l *Link) Horizon() bw.Tick { return bw.Tick(len(l.arrivals)) }
+
+// Total returns all bits routed to this link so far.
+func (l *Link) Total() bw.Bits {
+	var sum bw.Bits
+	for _, a := range l.arrivals {
+		sum += a
+	}
+	return sum
+}
+
+// OverflowTicks counts ticks where the routed arrivals exceed what the
+// link can serve in one tick at full capacity — instantaneous pressure
+// the allocator can only absorb as queueing delay.
+func (l *Link) OverflowTicks() int {
+	lim := bw.Volume(l.cap, 1)
+	n := 0
+	for _, a := range l.arrivals {
+		if a > lim {
+			n++
+		}
+	}
+	return n
+}
+
+// Simulate replays the accumulated stream through the allocator via the
+// zero-allocation runner. The returned Result is owned by the Link and
+// valid only until the next Simulate or Reset (the sim.Runner contract).
+func (l *Link) Simulate(alloc sim.Allocator, opts sim.Options) (*sim.Result, error) {
+	tr, err := trace.New(l.arrivals)
+	if err != nil {
+		return nil, err
+	}
+	return l.runner.Run(tr, alloc, opts)
+}
+
+// Reset clears the accumulated arrivals while keeping the storage, so
+// the link can be refilled for another run.
+func (l *Link) Reset() {
+	l.arrivals = l.arrivals[:0]
+	l.runner.Reset()
+}

@@ -1,0 +1,79 @@
+package route
+
+import (
+	"strconv"
+
+	"dynbw/internal/obs"
+)
+
+// Metrics holds the routing tier's counters. The nil *Metrics is a
+// valid no-op, mirroring the obs instrument convention, so a Policy
+// works identically with or without a registry attached.
+type Metrics struct {
+	placements *obs.Counter
+	blocked    *obs.Counter
+	reroutes   *obs.Counter
+}
+
+// Instrument registers the routing metric families for this policy on
+// the registry and attaches them, replacing any previous instruments:
+//
+//	dynbw_route_placements_total{policy}  sessions placed on a link
+//	dynbw_route_blocked_total{policy}     sessions no link could admit
+//	dynbw_route_reroutes_total{policy}    live sessions migrated by rebalance
+//	dynbw_route_link_load{link}           reserved nominal rate per link
+//	dynbw_route_link_sessions{link}       session count per link
+//
+// All series exist (at zero) from the moment this returns, so scrapes
+// see the full family before any traffic arrives. A nil registry
+// detaches metrics.
+func (p *Policy) Instrument(r *obs.Registry) {
+	if r == nil {
+		p.m = nil
+		return
+	}
+	pl := obs.L("policy", p.name)
+	m := &Metrics{
+		placements: r.Counter("dynbw_route_placements_total",
+			"Sessions the routing tier placed on a backend link.", pl),
+		blocked: r.Counter("dynbw_route_blocked_total",
+			"Sessions the routing tier rejected because no link could admit them.", pl),
+		reroutes: r.Counter("dynbw_route_reroutes_total",
+			"Live sessions migrated between links by rebalance passes.", pl),
+	}
+	for l := 0; l < len(p.caps); l++ {
+		l := LinkID(l)
+		ll := obs.L("link", strconv.Itoa(int(l)))
+		r.GaugeFunc("dynbw_route_link_load",
+			"Reserved nominal rate on each backend link.",
+			func() int64 { return int64(p.LoadOf(l)) }, ll)
+		r.GaugeFunc("dynbw_route_link_sessions",
+			"Sessions currently routed to each backend link.",
+			func() int64 { return int64(p.SessionsOf(l)) }, ll)
+	}
+	p.m = m
+}
+
+// place counts one successful placement.
+func (m *Metrics) place() {
+	if m == nil {
+		return
+	}
+	m.placements.Inc()
+}
+
+// block counts one rejected placement.
+func (m *Metrics) block() {
+	if m == nil {
+		return
+	}
+	m.blocked.Inc()
+}
+
+// reroute counts one rebalance migration.
+func (m *Metrics) reroute() {
+	if m == nil {
+		return
+	}
+	m.reroutes.Inc()
+}

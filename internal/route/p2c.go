@@ -1,0 +1,41 @@
+package route
+
+import "dynbw/internal/bw"
+
+// NewP2C returns the power-of-two-choices router: each placement
+// samples two distinct links uniformly at random and places the session
+// on the less loaded of the two (falling back to the other if only one
+// has room, blocking if neither does). Per the balanced-allocation
+// analysis of Anagnostopoulos–Kontoyiannis–Upfal, the second choice
+// buys an exponential improvement in the maximum load over one random
+// choice while probing only two links — the scalable middle ground
+// between random and greedy.
+func NewP2C(caps []bw.Rate, seed uint64) *Policy {
+	return newPolicy("p2c", caps, seed, p2cChoose)
+}
+
+// p2cChoose samples two distinct links and takes the emptier admitting
+// one. Callers must hold p.mu.
+func p2cChoose(p *Policy, s Session) LinkID {
+	k := len(p.caps)
+	if k == 1 {
+		if p.fits(0, s.Rate, 0) {
+			return 0
+		}
+		return Blocked
+	}
+	i := LinkID(p.src.Intn(k))
+	j := p.randomOther(i)
+	// Prefer the lower load fraction; on a tie the lower index, so the
+	// decision is deterministic given the sampled pair.
+	if p.frac(j) < p.frac(i) || (p.frac(j) == p.frac(i) && j < i) {
+		i, j = j, i
+	}
+	if p.fits(i, s.Rate, 0) {
+		return i
+	}
+	if p.fits(j, s.Rate, 0) {
+		return j
+	}
+	return Blocked
+}

@@ -1,0 +1,381 @@
+// Package route is the multi-link routing tier: it places sessions onto
+// one of k backend links, each of which then runs one of the existing
+// single-link allocation policies (internal/core, internal/baseline) —
+// the two-level system of ROADMAP item 4. The paper's k-session theorems
+// all share one link; this tier turns them into route-then-allocate.
+//
+// Three placement policies are provided, following the balanced-
+// allocation literature retrieved in PAPERS.md:
+//
+//   - greedy least-loaded placement (the d=k extreme of balanced
+//     allocation: inspect every link, pick the emptiest);
+//   - Dynamic Alternative Routing with trunk reservation, the telephone-
+//     network policy whose steady state Anagnostopoulos, Kontoyiannis
+//     and Upfal analyze: a session first tries its home link, then a
+//     sticky randomly-chosen alternative that admits it only if enough
+//     headroom (the trunk reservation) remains, re-randomizing the
+//     alternative on failure;
+//   - power-of-two-choices: sample two links uniformly, place on the
+//     less loaded — the d=2 point whose exponential improvement over
+//     d=1 the same paper transfers to routing.
+//
+// Alongside the paper's renegotiation count, the tier counts *reroutes*
+// — migrations of a live session between links, in the style of online
+// dynamic b-matching (Bienkowski et al.), where each reconfiguration of
+// the matching costs one. Rebalance passes trade reroutes for balance;
+// experiments E23–E25 race the policies on blocking, balance, and the
+// combined change+reroute cost.
+package route
+
+import (
+	"fmt"
+	"sync"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/obs"
+	"dynbw/internal/rng"
+)
+
+// LinkID identifies one backend link (0-based).
+type LinkID int
+
+// Blocked is returned by Place when no link can admit the session.
+const Blocked LinkID = -1
+
+// Session is a placement request: a session identifier (stable for the
+// session's lifetime; Release and Rebalance refer to it) and the nominal
+// rate the admission rule reserves on the chosen link. The live gateway
+// places slots with Rate 1 against slot-count capacities; the routing
+// simulation places declared bandwidths against link capacities.
+type Session struct {
+	ID   int
+	Rate bw.Rate
+}
+
+// Router places sessions onto links. Implementations are safe for
+// concurrent use.
+type Router interface {
+	// Name returns the policy label used in metrics and events.
+	Name() string
+	// K returns the number of links.
+	K() int
+	// Place chooses a link for the session and reserves its rate there,
+	// or returns Blocked. A session ID must not be placed twice without
+	// an intervening Release.
+	Place(s Session) LinkID
+	// Release frees the session's reservation. Unknown IDs are no-ops.
+	Release(id int)
+}
+
+// Rebalancer is implemented by routers that can migrate live sessions to
+// even out link loads. Each returned Move has already been applied to
+// the router's own bookkeeping; the caller must mirror it in whatever
+// state it keeps per link (queues, traces), and account one reroute per
+// move — the b-matching reconfiguration cost.
+type Rebalancer interface {
+	Rebalance(limit int) []Move
+}
+
+// Move records one session migration.
+type Move struct {
+	Session  int
+	Rate     bw.Rate
+	From, To LinkID
+}
+
+// placement is one routed session's bookkeeping entry.
+type placement struct {
+	link LinkID
+	rate bw.Rate
+}
+
+// chooseFunc is a placement strategy. It is called with p.mu held and
+// must only read the policy state; the caller applies the reservation.
+type chooseFunc func(p *Policy, s Session) LinkID
+
+// Policy is the shared machinery behind every Router in this package:
+// per-link capacity and load bookkeeping, placement via a strategy
+// function, release, and load-evening rebalance. Construct one with
+// NewGreedy, NewDAR or NewP2C.
+type Policy struct {
+	name   string
+	choose chooseFunc
+	seed   uint64
+
+	mu   sync.Mutex
+	caps []bw.Rate         // immutable after construction
+	load []bw.Rate         // guarded by mu; reserved nominal rate per link
+	num  []int             // guarded by mu; sessions per link
+	alt  []LinkID          // guarded by mu; DAR's sticky alternative per home link
+	wher map[int]placement // guarded by mu; session id -> placement
+	src  *rng.Source       // guarded by mu; randomness for p2c sampling / DAR re-pick
+
+	reserve bw.Rate // DAR trunk reservation headroom, 0 otherwise
+
+	o obs.Observer
+	m *Metrics
+}
+
+var (
+	_ Router     = (*Policy)(nil)
+	_ Rebalancer = (*Policy)(nil)
+)
+
+// newPolicy builds the shared state for k links with the given
+// capacities.
+func newPolicy(name string, caps []bw.Rate, seed uint64, choose chooseFunc) *Policy {
+	p := &Policy{
+		name:   name,
+		choose: choose,
+		seed:   seed,
+		caps:   append([]bw.Rate(nil), caps...),
+		load:   make([]bw.Rate, len(caps)),
+		num:    make([]int, len(caps)),
+		alt:    make([]LinkID, len(caps)),
+		wher:   make(map[int]placement),
+		src:    rng.New(seed),
+	}
+	for i := range p.alt {
+		p.alt[i] = Blocked
+	}
+	return p
+}
+
+// Uniform returns k equal link capacities, the common experiment setup.
+func Uniform(k int, cap bw.Rate) []bw.Rate {
+	caps := make([]bw.Rate, k)
+	for i := range caps {
+		caps[i] = cap
+	}
+	return caps
+}
+
+// Name implements Router.
+func (p *Policy) Name() string { return p.name }
+
+// K implements Router.
+func (p *Policy) K() int { return len(p.caps) }
+
+// Cap returns link l's capacity.
+func (p *Policy) Cap(l LinkID) bw.Rate { return p.caps[l] }
+
+// SetObserver attaches an event observer (nil disables). Call before
+// routing starts.
+func (p *Policy) SetObserver(o obs.Observer) { p.o = o }
+
+// Reset returns the router to its just-constructed state — empty links,
+// forgotten DAR alternatives, re-seeded randomness — while keeping the
+// allocated storage, mirroring the sim.Runner reuse contract.
+func (p *Policy) Reset() {
+	p.mu.Lock()
+	clear(p.load)
+	clear(p.num)
+	for i := range p.alt {
+		p.alt[i] = Blocked
+	}
+	clear(p.wher)
+	p.src = rng.New(p.seed)
+	p.mu.Unlock()
+}
+
+// fits reports whether link l can admit rate with the given headroom
+// kept free. Callers must hold mu.
+func (p *Policy) fits(l LinkID, rate, headroom bw.Rate) bool {
+	return p.load[l]+rate <= p.caps[l]-headroom
+}
+
+// place applies a reservation. Callers must hold mu; every calling
+// method emits through an emit* helper (the emit-on-change invariant).
+func (p *Policy) place(s Session, l LinkID) {
+	p.load[l] += s.Rate
+	p.num[l]++
+	p.wher[s.ID] = placement{link: l, rate: s.Rate}
+}
+
+// remove undoes a reservation. Callers must hold mu; every calling
+// method emits through an emit* helper.
+func (p *Policy) remove(id int) (placement, bool) {
+	pl, ok := p.wher[id]
+	if !ok {
+		return placement{}, false
+	}
+	p.load[pl.link] -= pl.rate
+	p.num[pl.link]--
+	delete(p.wher, id)
+	return pl, true
+}
+
+// Place implements Router.
+func (p *Policy) Place(s Session) LinkID {
+	if s.Rate < 0 {
+		panic(fmt.Sprintf("route: negative session rate %d", s.Rate))
+	}
+	p.mu.Lock()
+	if _, dup := p.wher[s.ID]; dup {
+		p.mu.Unlock()
+		panic(fmt.Sprintf("route: session %d placed twice", s.ID))
+	}
+	l := p.choose(p, s)
+	if l != Blocked {
+		p.place(s, l)
+	}
+	p.mu.Unlock()
+	if l == Blocked {
+		p.emitBlock(s)
+	} else {
+		p.emitPlace(s, l)
+	}
+	return l
+}
+
+// Release implements Router.
+func (p *Policy) Release(id int) {
+	p.mu.Lock()
+	pl, ok := p.remove(id)
+	p.mu.Unlock()
+	if ok {
+		p.emitRelease(id, pl.link)
+	}
+}
+
+// Rebalance implements Rebalancer: while the spread between the most-
+// and least-loaded links can be strictly reduced by moving one session,
+// move the smallest such session, up to limit moves. Each move is one
+// reroute. The selection is deterministic (fraction-of-capacity
+// extremes with lowest-index ties, smallest rate then smallest ID among
+// candidate sessions), so simulations rebalance identically on every
+// run and at any sweep parallelism.
+func (p *Policy) Rebalance(limit int) []Move {
+	var moves []Move
+	p.mu.Lock()
+	for len(moves) < limit {
+		hi, lo := LinkID(0), LinkID(0)
+		for l := 1; l < len(p.caps); l++ {
+			if p.frac(LinkID(l)) > p.frac(hi) {
+				hi = LinkID(l)
+			}
+			if p.frac(LinkID(l)) < p.frac(lo) {
+				lo = LinkID(l)
+			}
+		}
+		if hi == lo {
+			break
+		}
+		// The smallest session on hi that fits on lo and strictly lowers
+		// the pair maximum: after the move hi drops and lo stays below
+		// hi's old load, so repeated passes cannot oscillate.
+		best := -1
+		var bestRate bw.Rate
+		for id, pl := range p.wher {
+			if pl.link != hi || !p.fits(lo, pl.rate, 0) {
+				continue
+			}
+			if pl.rate >= p.load[hi]-p.load[lo] {
+				continue
+			}
+			if best < 0 || pl.rate < bestRate || (pl.rate == bestRate && id < best) {
+				best, bestRate = id, pl.rate
+			}
+		}
+		if best < 0 {
+			break
+		}
+		pl, _ := p.remove(best)
+		p.place(Session{ID: best, Rate: pl.rate}, lo)
+		moves = append(moves, Move{Session: best, Rate: pl.rate, From: hi, To: lo})
+	}
+	p.mu.Unlock()
+	for _, mv := range moves {
+		p.emitReroute(mv)
+	}
+	return moves
+}
+
+// frac returns link l's load as a fraction of capacity. Callers must
+// hold mu.
+func (p *Policy) frac(l LinkID) float64 {
+	if p.caps[l] <= 0 {
+		return 0
+	}
+	return float64(p.load[l]) / float64(p.caps[l])
+}
+
+// LoadOf returns link l's reserved nominal rate.
+func (p *Policy) LoadOf(l LinkID) bw.Rate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.load[l]
+}
+
+// SessionsOf returns link l's session count.
+func (p *Policy) SessionsOf(l LinkID) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.num[l]
+}
+
+// Loads returns a snapshot of every link's reserved rate.
+func (p *Policy) Loads() []bw.Rate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return append([]bw.Rate(nil), p.load...)
+}
+
+// Where returns the link currently holding the session, or Blocked.
+func (p *Policy) Where(id int) LinkID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if pl, ok := p.wher[id]; ok {
+		return pl.link
+	}
+	return Blocked
+}
+
+// randomOther picks a uniformly random link other than not. Callers
+// must hold mu.
+func (p *Policy) randomOther(not LinkID) LinkID {
+	k := len(p.caps)
+	if k <= 1 {
+		return not
+	}
+	l := LinkID(p.src.Intn(k - 1))
+	if l >= not {
+		l++
+	}
+	return l
+}
+
+// emitPlace reports a successful placement to the observer and metrics.
+func (p *Policy) emitPlace(s Session, l LinkID) {
+	if p.o != nil {
+		p.o.Event(obs.Event{Type: obs.EventRoutePlace, Session: s.ID,
+			Link: int(l), FromLink: -1, NewRate: s.Rate, Rule: p.name})
+	}
+	p.m.place()
+}
+
+// emitBlock reports a rejected placement.
+func (p *Policy) emitBlock(s Session) {
+	if p.o != nil {
+		p.o.Event(obs.Event{Type: obs.EventRouteBlock, Session: s.ID,
+			Link: -1, FromLink: -1, NewRate: s.Rate, Rule: p.name})
+	}
+	p.m.block()
+}
+
+// emitRelease reports a departed session.
+func (p *Policy) emitRelease(id int, l LinkID) {
+	if p.o != nil {
+		p.o.Event(obs.Event{Type: obs.EventRouteRelease, Session: id,
+			Link: int(l), FromLink: -1, Rule: p.name})
+	}
+}
+
+// emitReroute reports one applied migration.
+func (p *Policy) emitReroute(mv Move) {
+	if p.o != nil {
+		p.o.Event(obs.Event{Type: obs.EventRouteReroute, Session: mv.Session,
+			Link: int(mv.To), FromLink: int(mv.From), NewRate: mv.Rate, Rule: p.name})
+	}
+	p.m.reroute()
+}

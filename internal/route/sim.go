@@ -1,0 +1,230 @@
+package route
+
+import (
+	"errors"
+	"fmt"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/rng"
+	"dynbw/internal/sim"
+	"dynbw/internal/traffic"
+)
+
+// Workload describes the loss-network-style session process of a routing
+// run: sessions arrive with exponential gaps, declare a nominal Rate
+// (what the router reserves), hold for an exponential time, and emit
+// actual bits drawn from one of the session traffic models. Everything
+// is derived from Seed, so a Workload is a pure value: the same workload
+// against the same Config yields bit-identical results at any sweep
+// parallelism.
+type Workload struct {
+	Seed uint64
+	// Horizon is the tick after which no new sessions arrive (departures
+	// still play out past it).
+	Horizon bw.Tick
+	// MeanGap is the mean number of ticks between session arrivals.
+	MeanGap float64
+	// MeanHold is the mean session holding time in ticks.
+	MeanHold float64
+	// Rate is the nominal per-session rate the router reserves.
+	Rate bw.Rate
+	// Traffic selects the within-session bit process: "cbr" (exactly the
+	// nominal rate), "mmpp" (3-state chain around the nominal rate), or
+	// "heavytail" (Pareto bursts with nominal mean).
+	Traffic string
+}
+
+// Config wires a routing run: the placement policy under test, the link
+// capacities, the per-link allocation policy, and the optional rebalance
+// cadence.
+type Config struct {
+	// Router places sessions; if it also implements Rebalancer and
+	// RebalanceEvery is positive, live sessions are migrated.
+	Router Router
+	// Caps are the link capacities; len(Caps) must equal Router.K().
+	Caps []bw.Rate
+	// Alloc builds the allocation policy each link replays its routed
+	// stream through.
+	Alloc func(cap bw.Rate) (sim.Allocator, error)
+	// Opts configures each link's replay.
+	Opts sim.Options
+	// RebalanceEvery, when positive, runs a rebalance pass every that
+	// many ticks (at most RebalanceLimit moves per pass).
+	RebalanceEvery bw.Tick
+	// RebalanceLimit bounds moves per rebalance pass; zero means 1.
+	RebalanceLimit int
+}
+
+// Result aggregates one routing run. TotalCost is the two-level cost
+// measure: the paper's allocation changes summed over links, plus one
+// per reroute in the b-matching style.
+type Result struct {
+	Offered  int // sessions that arrived
+	Placed   int // sessions some link admitted
+	Blocked  int // sessions no link could admit
+	Reroutes int // rebalance migrations
+	// OverflowTicks counts link-ticks where routed arrivals exceeded the
+	// link's full-capacity service for one tick.
+	OverflowTicks int
+	// Changes sums allocation changes across all link replays.
+	Changes int
+	// MaxDelay is the worst per-bit delay across links.
+	MaxDelay bw.Tick
+	// LinkBits is the total bits routed to each link, for balance
+	// metrics.
+	LinkBits []bw.Bits
+	// TotalCost is Changes + Reroutes.
+	TotalCost int
+}
+
+// session is one workload session's lifecycle state.
+type session struct {
+	id       int
+	arr, end bw.Tick
+	bits     []bw.Bits // realized per-tick bits for [arr, end)
+	link     LinkID
+}
+
+// sessionGen builds the within-session bit process. The nominal rate is
+// the mean in every model; the models differ in how the bits spread.
+func sessionGen(kind string, rate bw.Rate, seed uint64) (traffic.Generator, error) {
+	switch kind {
+	case "cbr":
+		return traffic.CBR{Rate: rate}, nil
+	case "mmpp":
+		return traffic.MMPP{
+			Seed:     seed,
+			Rates:    []bw.Rate{rate / 2, rate, 2 * rate},
+			StayProb: 0.9,
+		}, nil
+	case "heavytail":
+		// Pareto(1.5) bursts of mean 3*MinBurst = 6R every ~7 ticks keep
+		// the long-run mean near the nominal rate with heavy-tailed
+		// spikes.
+		return traffic.ParetoBurst{
+			Seed:        seed,
+			Alpha:       1.5,
+			MinBurst:    bw.Volume(2*rate, 1),
+			MeanGap:     6,
+			SpreadTicks: 2,
+		}, nil
+	}
+	return nil, fmt.Errorf("route: unknown session traffic %q", kind)
+}
+
+// Run plays the workload against the router, feeds each link's routed
+// bits through its allocation policy, and aggregates the two-level
+// costs. Within a tick the order is departures, arrivals, rebalance,
+// then bit emission, and the active-session list stays in arrival
+// order, so runs are deterministic.
+func Run(w Workload, cfg Config) (*Result, error) {
+	if cfg.Router == nil {
+		return nil, errors.New("route: Config.Router is nil")
+	}
+	if len(cfg.Caps) != cfg.Router.K() {
+		return nil, fmt.Errorf("route: %d caps for %d links", len(cfg.Caps), cfg.Router.K())
+	}
+	if cfg.Alloc == nil {
+		return nil, errors.New("route: Config.Alloc is nil")
+	}
+	if w.Horizon <= 0 || w.MeanGap <= 0 || w.MeanHold <= 0 || w.Rate <= 0 {
+		return nil, fmt.Errorf("route: bad workload %+v", w)
+	}
+
+	// Realize the whole session process up front: arrival times, holding
+	// times, and each session's bit trace.
+	src := rng.New(w.Seed)
+	var sessions []*session
+	var lastEnd bw.Tick
+	for t := bw.Tick(src.Exp(w.MeanGap)) + 1; t < w.Horizon; t += bw.Tick(src.Exp(w.MeanGap)) + 1 {
+		hold := bw.Tick(src.Exp(w.MeanHold)) + 1
+		gen, err := sessionGen(w.Traffic, w.Rate, src.Uint64())
+		if err != nil {
+			return nil, err
+		}
+		s := &session{
+			id:   len(sessions),
+			arr:  t,
+			end:  t + hold,
+			bits: gen.Generate(hold).Arrivals(),
+			link: Blocked,
+		}
+		sessions = append(sessions, s)
+		if s.end > lastEnd {
+			lastEnd = s.end
+		}
+	}
+
+	links := make([]*Link, len(cfg.Caps))
+	for i, c := range cfg.Caps {
+		links[i] = NewLink(LinkID(i), c)
+	}
+	limit := cfg.RebalanceLimit
+	if limit <= 0 {
+		limit = 1
+	}
+	rb, canRebalance := cfg.Router.(Rebalancer)
+
+	res := &Result{LinkBits: make([]bw.Bits, len(links))}
+	byID := make(map[int]*session, len(sessions))
+	var active []*session
+	next := 0
+	for t := bw.Tick(0); t <= lastEnd; t++ {
+		keep := active[:0]
+		for _, s := range active {
+			if s.end <= t {
+				cfg.Router.Release(s.id)
+				delete(byID, s.id)
+				continue
+			}
+			keep = append(keep, s)
+		}
+		active = keep
+
+		for next < len(sessions) && sessions[next].arr == t {
+			s := sessions[next]
+			next++
+			res.Offered++
+			s.link = cfg.Router.Place(Session{ID: s.id, Rate: w.Rate})
+			if s.link == Blocked {
+				res.Blocked++
+				continue
+			}
+			res.Placed++
+			active = append(active, s)
+			byID[s.id] = s
+		}
+
+		if canRebalance && cfg.RebalanceEvery > 0 && t > 0 && t%cfg.RebalanceEvery == 0 {
+			for _, mv := range rb.Rebalance(limit) {
+				if s, ok := byID[mv.Session]; ok {
+					s.link = mv.To
+				}
+				res.Reroutes++
+			}
+		}
+
+		for _, s := range active {
+			links[s.link].Add(t, s.bits[t-s.arr])
+		}
+	}
+
+	for i, l := range links {
+		alloc, err := cfg.Alloc(l.Cap())
+		if err != nil {
+			return nil, fmt.Errorf("route: link %d allocator: %w", i, err)
+		}
+		r, err := l.Simulate(alloc, cfg.Opts)
+		if err != nil {
+			return nil, fmt.Errorf("route: link %d replay: %w", i, err)
+		}
+		res.Changes += r.Report.Changes
+		if r.Delay.Max > res.MaxDelay {
+			res.MaxDelay = r.Delay.Max
+		}
+		res.OverflowTicks += l.OverflowTicks()
+		res.LinkBits[i] = l.Total()
+	}
+	res.TotalCost = res.Changes + res.Reroutes
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package route
+
+import (
+	"reflect"
+	"testing"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/sim"
+)
+
+// testAlloc builds the standard per-link allocator used across the
+// routing tests: the paper's single-session policy with BA = the link
+// capacity.
+func testAlloc(cap bw.Rate) (sim.Allocator, error) {
+	return core.NewSingleSession(core.SingleParams{BA: cap, DO: 8, UO: 0.5, W: 16})
+}
+
+func testConfig(r Router, caps []bw.Rate) Config {
+	return Config{Router: r, Caps: caps, Alloc: testAlloc}
+}
+
+func testWorkload(traffic string) Workload {
+	return Workload{
+		Seed:     42,
+		Horizon:  512,
+		MeanGap:  4,
+		MeanHold: 32,
+		Rate:     8,
+		Traffic:  traffic,
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, traffic := range []string{"cbr", "mmpp", "heavytail"} {
+		t.Run(traffic, func(t *testing.T) {
+			caps := Uniform(4, 64)
+			a, err := Run(testWorkload(traffic), testConfig(NewP2C(caps, 7), caps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(testWorkload(traffic), testConfig(NewP2C(caps, 7), caps))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+			}
+			if a.Offered == 0 || a.Placed == 0 {
+				t.Fatalf("degenerate run: %+v", a)
+			}
+			if a.Offered != a.Placed+a.Blocked {
+				t.Fatalf("offered %d != placed %d + blocked %d", a.Offered, a.Placed, a.Blocked)
+			}
+			if a.TotalCost != a.Changes+a.Reroutes {
+				t.Fatalf("total cost %d != changes %d + reroutes %d", a.TotalCost, a.Changes, a.Reroutes)
+			}
+		})
+	}
+}
+
+func TestRunOverloadBlocksGreedyLeastOften(t *testing.T) {
+	// Overloaded regime: offered nominal load well above total capacity.
+	w := Workload{Seed: 9, Horizon: 1024, MeanGap: 2, MeanHold: 64, Rate: 16, Traffic: "cbr"}
+	caps := Uniform(4, 64)
+	blocked := map[string]int{}
+	for _, r := range []Router{NewGreedy(caps), NewDAR(caps, 16, 3), NewP2C(caps, 3)} {
+		res, err := Run(w, testConfig(r, caps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Blocked == 0 {
+			t.Fatalf("%s: overloaded run blocked nobody", r.Name())
+		}
+		blocked[r.Name()] = res.Blocked
+	}
+	// Greedy sees every link, so it never blocks a session another
+	// policy could have placed under the same admission rule.
+	if blocked["greedy"] > blocked["p2c"] || blocked["greedy"] > blocked["dar"] {
+		t.Fatalf("greedy blocked most: %v", blocked)
+	}
+}
+
+func TestRunRebalanceCountsReroutes(t *testing.T) {
+	caps := Uniform(4, 64)
+	w := testWorkload("mmpp")
+	still, err := Run(w, testConfig(NewDAR(caps, 8, 5), caps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(NewDAR(caps, 8, 5), caps)
+	cfg.RebalanceEvery = 16
+	cfg.RebalanceLimit = 2
+	moved, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if still.Reroutes != 0 {
+		t.Fatalf("no-rebalance run recorded %d reroutes", still.Reroutes)
+	}
+	if moved.Reroutes == 0 {
+		t.Fatal("rebalancing run recorded no reroutes")
+	}
+	if moved.TotalCost != moved.Changes+moved.Reroutes {
+		t.Fatalf("total cost %d != %d + %d", moved.TotalCost, moved.Changes, moved.Reroutes)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	caps := Uniform(2, 64)
+	if _, err := Run(testWorkload("cbr"), Config{Caps: caps, Alloc: testAlloc}); err == nil {
+		t.Fatal("nil router accepted")
+	}
+	if _, err := Run(testWorkload("cbr"), Config{Router: NewGreedy(caps), Caps: caps[:1], Alloc: testAlloc}); err == nil {
+		t.Fatal("cap/link mismatch accepted")
+	}
+	if _, err := Run(testWorkload("nope"), testConfig(NewGreedy(caps), caps)); err == nil {
+		t.Fatal("unknown traffic accepted")
+	}
+	bad := testWorkload("cbr")
+	bad.MeanGap = 0
+	if _, err := Run(bad, testConfig(NewGreedy(caps), caps)); err == nil {
+		t.Fatal("zero mean gap accepted")
+	}
+}
