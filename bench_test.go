@@ -9,10 +9,14 @@
 package dynbw
 
 import (
+	"fmt"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"dynbw/internal/bw"
 	"dynbw/internal/core"
+	"dynbw/internal/gateway"
 	"dynbw/internal/harness"
 	"dynbw/internal/offline"
 	"dynbw/internal/sim"
@@ -189,4 +193,82 @@ func BenchmarkScheduleScan(b *testing.B) {
 			b.Fatal("scan accumulated nothing")
 		}
 	}
+}
+
+// BenchmarkGatewayMessages measures the gateway's message path —
+// DATA submit plus STATS round-trip over real TCP — with the tick loop
+// parked (a never-firing tick channel), so only wire handling and slot
+// bookkeeping are on the clock. The shards=1 case is the classic
+// single-mutex table; shards=8 lock-stripes it. On a single-core box
+// the two are expected to be close (striping buys nothing without
+// parallel hardware); the win shows up as core count grows.
+func BenchmarkGatewayMessages(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			benchGatewayMessages(b, shards)
+		})
+	}
+}
+
+func benchGatewayMessages(b *testing.B, shards int) {
+	const k, conns = 256, 8
+	cfg := gateway.Config{
+		Addr:  "127.0.0.1:0",
+		Slots: k,
+		Ticks: make(chan time.Time), // never fires: message path only
+	}
+	if shards > 1 {
+		cfg.Shards = shards
+		allocs := make([]sim.MultiAllocator, shards)
+		for i := range allocs {
+			allocs[i] = core.MustNewPhased(core.MultiParams{
+				K: k / shards, BO: bw.Rate(16 * k / shards), DO: 8,
+			})
+		}
+		cfg.ShardAllocs = allocs
+	} else {
+		cfg.Alloc = core.MustNewPhased(core.MultiParams{K: k, BO: 16 * k, DO: 8})
+	}
+	gw, err := gateway.NewWithConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+
+	// Pre-dial the muxes and open one session each; conn stripes are
+	// assigned round-robin, so the sessions land on distinct shards.
+	muxes := make([]*gateway.Mux, conns)
+	ids := make([]uint32, conns)
+	for i := range muxes {
+		m, err := gateway.DialMux(gw.Addr(), 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer m.Close()
+		muxes[i] = m
+		if ids[i], err = m.Open(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	var next atomic.Int64
+	b.ReportAllocs()
+	b.SetParallelism(conns)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)-1) % conns
+		m, id := muxes[i], ids[i]
+		for pb.Next() {
+			if err := m.Send(id, 8); err != nil {
+				b.Error(err)
+				return
+			}
+			if _, err := m.Stats(id); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "msg/s")
 }

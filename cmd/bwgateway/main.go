@@ -28,6 +28,13 @@
 //	bwgateway -policy combined -k 8 -tick 2ms -duration 5s
 //	bwgateway -k 64 -duration 0 -admin 127.0.0.1:8080   # serve until ^C
 //	bwgateway -k 16 -links 4 -route p2c -rebalance 64 -duration 2s
+//	bwgateway -k 4096 -shards 8 -duration 0 -admin 127.0.0.1:8080
+//
+// With -shards > 1 the slot table is lock-striped: each shard owns its
+// slot range, its own allocator over an equal bandwidth share, its own
+// event-ring stripe and its own counter stripes, so exchanges on
+// different shards never contend. /metrics merges the stripes at scrape
+// time and adds a per-shard dynbw_gateway_shard_sessions gauge.
 package main
 
 import (
@@ -76,6 +83,7 @@ func run(args []string, out, errw io.Writer) error {
 		routeName = fs.String("route", "greedy", "multi-link placement policy: greedy|dar|p2c")
 		reserve   = fs.Int64("reserve", 1, "DAR trunk reservation in slot units")
 		rebalance = fs.Int64("rebalance", 0, "migrate sessions between links every this many ticks (0: never)")
+		shards    = fs.Int("shards", 1, "lock-stripe the slot table across this many shards (single-link only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -83,9 +91,20 @@ func run(args []string, out, errw io.Writer) error {
 	if *bo == 0 {
 		*bo = int64(16 * *k)
 	}
+	if *shards > 1 && *links > 1 {
+		return fmt.Errorf("-shards %d is single-link only (got -links %d)", *shards, *links)
+	}
 
 	reg := obs.NewRegistry()
-	ring := obs.NewRing(*events)
+	var ring obs.EventSource
+	var shardRing *obs.ShardedRing
+	if *shards > 1 {
+		shardRing = obs.NewShardedRing(*events, *shards)
+		ring = shardRing
+	} else {
+		ring = obs.NewRing(*events)
+	}
+	ring.Instrument(reg)
 	cfg := gateway.Config{
 		Addr:     *addr,
 		Slots:    *k,
@@ -122,6 +141,24 @@ func run(args []string, out, errw io.Writer) error {
 		cfg.LinkAllocs = allocs
 		cfg.RebalanceEvery = bw.Tick(*rebalance)
 		cfg.RebalanceLimit = m
+	} else if *shards > 1 {
+		if *k%*shards != 0 {
+			return fmt.Errorf("-k %d does not divide across -shards %d", *k, *shards)
+		}
+		m := *k / *shards
+		allocs := make([]sim.MultiAllocator, *shards)
+		for i := range allocs {
+			a, err := makePolicy(*policy, m, *bo/int64(*shards), *do)
+			if err != nil {
+				return err
+			}
+			if o, ok := a.(obs.Observable); ok {
+				o.SetObserver(shardRing.Stripe(i))
+			}
+			allocs[i] = a
+		}
+		cfg.Shards = *shards
+		cfg.ShardAllocs = allocs
 	} else {
 		alloc, err := makePolicy(*policy, *k, *bo, *do)
 		if err != nil {
@@ -139,10 +176,14 @@ func run(args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if *links > 1 {
+	switch {
+	case *links > 1:
 		fmt.Fprintf(out, "gateway %s: %d slots over %d links (route %s), policy %s, tick %v\n",
 			gw.Addr(), *k, *links, *routeName, *policy, *tick)
-	} else {
+	case *shards > 1:
+		fmt.Fprintf(out, "gateway %s: %d slots over %d shards, policy %s, tick %v\n",
+			gw.Addr(), *k, *shards, *policy, *tick)
+	default:
 		fmt.Fprintf(out, "gateway %s: %d slots, policy %s, tick %v\n", gw.Addr(), *k, *policy, *tick)
 	}
 
@@ -203,7 +244,7 @@ func run(args []string, out, errw io.Writer) error {
 	fmt.Fprintf(out, "peak total bw:   %d\n", stats.MaxTotalRate)
 	fmt.Fprintf(out, "max delay:       %d ticks (2*D_O guarantee: %d, +arrival alignment)\n",
 		stats.MaxDelay, 2**do)
-	fmt.Fprintf(out, "events traced:   %d\n", ring.Total())
+	fmt.Fprintf(out, "events traced:   %d (%d dropped)\n", ring.Total(), ring.Dropped())
 	return nil
 }
 

@@ -13,6 +13,13 @@
 //	bwload -addr 127.0.0.1:9000 -sessions 32 -duration 5s
 //	bwload -sessions 128 -out results            # also write results/bwload.{md,csv}
 //	bwload -sessions 64 -duration 10s -admin 127.0.0.1:8080   # scrape the soak live
+//	bwload -soak 100000 -shards 8 -gwtick 250ms -hold 30s -out results
+//
+// With -soak N the swarm is replaced by a session-scale soak: N sessions
+// are opened over multiplexed connections (-perconn sessions each, so
+// the run fits inside ordinary fd limits), held through a -hold plateau
+// with sparse traffic, and scraped mid-plateau; the scrape and a summary
+// land in -out. -shards lock-stripes the self-hosted gateway.
 package main
 
 import (
@@ -55,15 +62,29 @@ func run(args []string, out io.Writer) error {
 		mean     = fs.Int64("rate", 32, "mean offered bits per client tick")
 		outDir   = fs.String("out", "", "directory to write bwload.md and bwload.csv reports")
 		admin    = fs.String("admin", "", "admin HTTP address serving live swarm+gateway metrics during the run (empty: disabled)")
+		soak     = fs.Int("soak", 0, "hold this many multiplexed sessions open instead of running the swarm (0: off)")
+		perConn  = fs.Int("perconn", 256, "sessions per multiplexed connection in -soak mode")
+		hold     = fs.Duration("hold", 10*time.Second, "plateau duration in -soak mode")
+		shards   = fs.Int("shards", 0, "shard the self-hosted gateway's slot table (0/1: unsharded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	names := strings.Split(*policies, ",")
+	if *soak > 0 {
+		if len(names) > 1 {
+			return fmt.Errorf("-soak runs one gateway; use a single -policy label")
+		}
+		return runSoak(out, soakOpts{
+			policy: strings.TrimSpace(names[0]), addr: *addr, sessions: *soak,
+			perConn: *perConn, hold: *hold, shards: *shards,
+			bo: *bo, do: *do, gwTick: *gwTick, admin: *admin, outDir: *outDir,
+		})
 	}
 	m, err := load.ParseMode(*mode)
 	if err != nil {
 		return err
 	}
-	names := strings.Split(*policies, ",")
 	if *addr != "" && len(names) > 1 {
 		return fmt.Errorf("-addr attaches to one running gateway; use a single -policy label")
 	}
@@ -105,6 +126,7 @@ func run(args []string, out io.Writer) error {
 			host, err = load.StartHost(load.HostConfig{
 				Policy:   name,
 				Slots:    *sessions,
+				Shards:   *shards,
 				BO:       bw.Rate(*bo),
 				DO:       *do,
 				Tick:     *gwTick,
@@ -170,4 +192,128 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "wrote %s.md and %s.csv\n", base, base)
 	}
 	return nil
+}
+
+// soakOpts carries the -soak flag set into runSoak.
+type soakOpts struct {
+	policy   string
+	addr     string
+	sessions int
+	perConn  int
+	hold     time.Duration
+	shards   int
+	bo, do   int64
+	gwTick   time.Duration
+	admin    string
+	outDir   string
+}
+
+// runSoak is bwload's -soak mode: self-host (or attach to) a gateway,
+// open opts.sessions multiplexed sessions, hold them through the
+// plateau, and report open/stats-poll latency plus the mid-plateau
+// metrics scrape.
+func runSoak(out io.Writer, opts soakOpts) error {
+	reg := obs.NewRegistry()
+	var ring obs.EventSource
+	if opts.shards > 1 {
+		ring = obs.NewShardedRing(0, opts.shards)
+	} else {
+		ring = obs.NewRing(0)
+	}
+	ring.Instrument(reg)
+
+	target := opts.addr
+	var host *load.Host
+	if target == "" {
+		var err error
+		host, err = load.StartHost(load.HostConfig{
+			Policy:   opts.policy,
+			Slots:    opts.sessions,
+			Shards:   opts.shards,
+			BO:       bw.Rate(opts.bo),
+			DO:       opts.do,
+			Tick:     opts.gwTick,
+			Registry: reg,
+			Observer: ring,
+			Log:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
+		})
+		if err != nil {
+			return err
+		}
+		target = host.Addr()
+		fmt.Fprintf(out, "gateway %s: %d slots over %d shards, policy %s, tick %v\n",
+			target, opts.sessions, max(opts.shards, 1), opts.policy, opts.gwTick)
+	}
+	if opts.admin != "" {
+		adm, err := obs.StartAdmin(opts.admin, &obs.Admin{
+			Registry: reg,
+			Ring:     ring,
+			Sessions: func() any {
+				if host != nil {
+					return host.GW.Sessions()
+				}
+				return nil
+			},
+		})
+		if err != nil {
+			if host != nil {
+				host.Close()
+			}
+			return err
+		}
+		defer adm.Close()
+		fmt.Fprintf(out, "admin http://%s: /metrics /healthz /sessions /events /debug/pprof\n", adm.Addr())
+	}
+
+	res, err := load.Soak(load.SoakConfig{
+		Addr:     target,
+		Sessions: opts.sessions,
+		PerConn:  opts.perConn,
+		Hold:     opts.hold,
+		Registry: reg,
+	})
+	if host != nil {
+		defer host.Close()
+	}
+	if err != nil {
+		return err
+	}
+
+	report := soakMarkdown(opts.policy, res)
+	fmt.Fprintln(out, report)
+	if res.Sessions < opts.sessions {
+		return fmt.Errorf("soak held %d of %d sessions (%d open fails)", res.Sessions, opts.sessions, res.OpenFails)
+	}
+	if opts.outDir != "" {
+		if err := os.MkdirAll(opts.outDir, 0o755); err != nil {
+			return fmt.Errorf("create output dir: %w", err)
+		}
+		base := filepath.Join(opts.outDir, "bwload_soak")
+		if err := os.WriteFile(base+".md", []byte(report+"\n"), 0o644); err != nil {
+			return fmt.Errorf("write md: %w", err)
+		}
+		if err := os.WriteFile(base+"_scrape.prom", []byte(res.MidScrape), 0o644); err != nil {
+			return fmt.Errorf("write scrape: %w", err)
+		}
+		fmt.Fprintf(out, "wrote %s.md and %s_scrape.prom\n", base, base)
+	}
+	return nil
+}
+
+// soakMarkdown renders the soak accounting in the same style as the
+// swarm's per-policy report.
+func soakMarkdown(policy string, r load.SoakResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## soak %s\n\n", policy)
+	fmt.Fprintf(&b, "| metric | value |\n|---|---|\n")
+	fmt.Fprintf(&b, "| sessions held | %d |\n", r.Sessions)
+	fmt.Fprintf(&b, "| conns | %d |\n", r.Conns)
+	fmt.Fprintf(&b, "| open fails | %d |\n", r.OpenFails)
+	fmt.Fprintf(&b, "| ramp | %v |\n", r.Ramp.Round(time.Millisecond))
+	fmt.Fprintf(&b, "| open p50/p99/max | %v / %v / %v |\n", r.Open.P50, r.Open.P99, r.Open.Max)
+	fmt.Fprintf(&b, "| plateau | %v |\n", r.Plateau.Round(time.Millisecond))
+	fmt.Fprintf(&b, "| stats polls | %d |\n", r.StatsPoll.Count)
+	fmt.Fprintf(&b, "| stats p50/p99/max | %v / %v / %v |\n", r.StatsPoll.P50, r.StatsPoll.P99, r.StatsPoll.Max)
+	fmt.Fprintf(&b, "| bits sent on plateau | %d |\n", r.Sent)
+	return b.String()
 }

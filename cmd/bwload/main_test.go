@@ -29,6 +29,42 @@ func TestRunSmallSwarm(t *testing.T) {
 	}
 }
 
+func TestRunSoakShardedWritesScrape(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	err := run([]string{
+		"-soak", "128", "-shards", "4", "-perconn", "32",
+		"-hold", "200ms", "-gwtick", "2ms", "-out", dir,
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"128 slots over 4 shards", "| sessions held | 128 |", "| open fails | 0 |"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	scrape, err := os.ReadFile(filepath.Join(dir, "bwload_soak_scrape.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"dynbw_gateway_active_sessions 128",
+		`dynbw_gateway_shard_sessions{shard="3"} 32`,
+		"dynbw_gateway_allocation_changes_total",
+	} {
+		if !strings.Contains(string(scrape), want) {
+			t.Errorf("mid-plateau scrape missing %q", want)
+		}
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, "bwload_soak.md")); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-soak", "8", "-policy", "phased,continuous"}, &out); err == nil {
+		t.Error("-soak with multiple policies accepted")
+	}
+}
+
 func TestRunMultiPolicyWritesReports(t *testing.T) {
 	dir := t.TempDir()
 	var out strings.Builder

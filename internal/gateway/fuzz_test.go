@@ -29,13 +29,14 @@ func fuzzSeed(typ byte, fields ...uint64) []byte {
 // FuzzHandleMessage asserts the gateway's wire-facing surface never
 // panics on arbitrary byte streams (mirroring internal/signal's
 // FuzzReadMessage) and that slot accounting stays consistent with the
-// connection's owned session no matter how the stream is mangled.
+// connection's owned-session set no matter how the stream is mangled.
 func FuzzHandleMessage(f *testing.F) {
 	f.Add(fuzzSeed(typeOpen))
 	f.Add(fuzzSeed(typeData, 0, 64))
 	f.Add(append(fuzzSeed(typeOpen), fuzzSeed(typeData, 0, 64)...))
 	f.Add(append(fuzzSeed(typeOpen), fuzzSeed(typeStats, 0)...))
 	f.Add(append(fuzzSeed(typeOpen), fuzzSeed(typeClose, 0)...))
+	f.Add(append(fuzzSeed(typeOpen), fuzzSeed(typeOpen)...))
 	f.Add(fuzzSeed(typeStats, 3))
 	f.Add(fuzzSeed(typeClose, 1<<31))
 	f.Add(fuzzSeed(typeData, 7, 1<<63))
@@ -45,40 +46,46 @@ func FuzzHandleMessage(f *testing.F) {
 	f.Fuzz(func(t *testing.T, in []byte) {
 		const k = 4
 		g := newBare(k)
-		owned := -1
+		cs := &connState{owned: make(map[int]struct{})}
 		r := bytes.NewReader(in)
 		for {
-			if err := g.handleMessage(r, io.Discard, &owned); err != nil {
+			if err := g.handleMessage(r, io.Discard, cs); err != nil {
 				break
 			}
 		}
-		if owned < -1 || owned >= k {
-			t.Fatalf("owned slot %d out of range", owned)
+		for id := range cs.owned {
+			if id < 0 || id >= k {
+				t.Fatalf("owned session %d out of range", id)
+			}
 		}
-		g.mu.Lock()
-		defer g.mu.Unlock()
+		sh := g.shards[0]
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		inUse := 0
-		for _, u := range g.used {
+		for _, u := range sh.used {
 			if u {
 				inUse++
 			}
 		}
-		// One connection can hold at most one slot, and the slot it holds
-		// must be marked used.
-		if inUse > 1 {
-			t.Fatalf("%d slots in use after a single-connection stream", inUse)
+		// A single connection's stream can only have opened the slots it
+		// still owns; every used slot must be owned and vice versa.
+		if inUse != len(cs.owned) {
+			t.Fatalf("%d slots in use but connection owns %d sessions", inUse, len(cs.owned))
 		}
-		if owned >= 0 && !g.used[owned] {
-			t.Fatalf("owned slot %d not marked used", owned)
+		if inUse != sh.inUse {
+			t.Fatalf("shard inUse = %d, counted %d", sh.inUse, inUse)
 		}
-		if owned < 0 && inUse != 0 {
-			t.Fatalf("no owned slot but %d slots in use", inUse)
+		for id := range cs.owned {
+			if !sh.used[id] {
+				t.Fatalf("owned session %d not marked used", id)
+			}
 		}
 		// DATA must never have landed on a slot the stream did not own:
-		// every pending entry besides the owned one must be zero.
-		for i, p := range g.pending {
-			if p < 0 || (i != owned && p != 0) {
-				t.Fatalf("pending[%d] = %d with owned = %d", i, p, owned)
+		// every pending entry outside the owned set must be zero.
+		for i, p := range sh.pending {
+			_, owned := cs.owned[i]
+			if p < 0 || (!owned && p != 0) {
+				t.Fatalf("pending[%d] = %d, owned = %v", i, p, owned)
 			}
 		}
 	})

@@ -20,23 +20,38 @@
 //	                                        client that has read CLOSED can
 //	                                        immediately reopen)
 //
-// DATA, STATS and CLOSE must name the session the connection itself
-// opened; anything else is a protocol violation and drops the connection.
+// A connection may OPEN any number of sessions and multiplex them (the
+// Mux client; one TCP connection per session would exhaust descriptors
+// long before the slot table does). DATA, STATS and CLOSE must name a
+// session the connection itself opened; anything else is a protocol
+// violation and drops the connection, releasing every session it owned.
+//
+// # Sharding
+//
+// With Config.Shards > 1 the slot table is split into shards, each
+// owning a contiguous slot range behind its own mutex, its own
+// allocator over its own bandwidth share, and its own observability
+// stripe. Wire session IDs are global slot indices, so a session's
+// shard is ID/(Slots/Shards) — exchanges touching different shards
+// never contend. The tick loop fans one allocation round out to every
+// shard and joins before advancing the clock, so the cost measure and
+// per-slot accounting are exactly the single-shard gateway's; /metrics,
+// /sessions and Close() merge the shards back at read time.
 package gateway
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
 	"log/slog"
 	"net"
+	"runtime"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dynbw/internal/bw"
 	"dynbw/internal/obs"
-	"dynbw/internal/queue"
 	"dynbw/internal/route"
 	"dynbw/internal/sim"
 )
@@ -77,8 +92,17 @@ type Config struct {
 	// Slots is the number of session slots k served by the allocator.
 	Slots int
 	// Alloc divides the shared pool among the slots once per tick
-	// (single-link mode; ignored when Links > 1).
+	// (single-link, single-shard mode; ignored when Links or Shards > 1).
 	Alloc sim.MultiAllocator
+	// Shards, when > 1, splits the slot table into that many
+	// independently locked shards (Slots must divide evenly), each
+	// served by its own allocator from ShardAllocs over Slots/Shards
+	// slots. Sharding is single-link only: Links must be <= 1.
+	Shards int
+	// ShardAllocs holds one allocator per shard; required when
+	// Shards > 1. Each divides its shard's bandwidth share among
+	// Slots/Shards slots.
+	ShardAllocs []sim.MultiAllocator
 	// Links, when > 1, partitions the Slots evenly across that many
 	// backend links (Slots must divide evenly): sessions are placed onto
 	// a link by Router at OPEN time and each link's slot range is served
@@ -107,11 +131,13 @@ type Config struct {
 	// Zero means no deadline (trusted in-process clients).
 	IdleTimeout time.Duration
 	// Observer receives session lifecycle and idle-disconnect events
-	// (nil disables). Policy-level renegotiation events are emitted by
-	// the allocator itself (obs.Observable).
+	// (nil disables). When it is a *obs.ShardedRing, each shard emits
+	// through its own ring stripe. Policy-level renegotiation events are
+	// emitted by the allocator itself (obs.Observable).
 	Observer obs.Observer
 	// Metrics, when non-nil, registers the gateway's counters, gauges
-	// and the per-exchange latency histogram.
+	// and the per-exchange latency histogram. Hot-path counters are
+	// lock-striped per shard and merged at scrape time.
 	Metrics *obs.Registry
 	// Policy labels the allocation-changes counter series (default
 	// "unknown").
@@ -125,116 +151,43 @@ type Config struct {
 // Gateway serves k session slots with a multi-session allocator — or,
 // in multi-link mode, k slots statically partitioned across several
 // links, each with its own allocator, with a routing policy choosing
-// the link at OPEN time.
+// the link at OPEN time; or, in sharded mode, k slots partitioned
+// across independently locked shards, each with its own allocator.
 //
 // In multi-link mode wire session IDs are decoupled from slot indices:
 // each OPEN mints a fresh external ID and the slot behind it may change
 // when a rebalance pass migrates the session (queue, pending bits and
-// all) to another link. Single-link mode keeps the classic ID == slot
-// behavior.
+// all) to another link. Single-link mode (sharded or not) keeps the
+// classic ID == slot behavior.
 type Gateway struct {
 	ln          net.Listener
-	allocs      []sim.MultiAllocator // one per link
-	k           int                  // total slots
-	links       int                  // number of links (1 = classic)
-	lm          int                  // slots per link (k/links)
-	router      route.Router         // nil in single-link mode
+	k           int // total slots
+	links       int // number of links (1 = classic)
+	lm          int // slots per link (k/links)
+	spp         int // slots per shard (k/len(shards))
+	shards      []*shard
+	router      route.Router // nil in single-link mode
 	rebalEvery  bw.Tick
 	rebalLimit  int
 	ticks       <-chan time.Time
 	idleTimeout time.Duration
 
-	o   obs.Observer
-	m   *gwMetrics
-	log *obs.RateLimited
+	o        obs.Observer
+	shardObs []obs.Observer // per-shard emission handles (ring stripes when sharded)
+	m        *gwMetrics
+	log      *obs.RateLimited
 
-	mu        sync.Mutex
-	pending   []bw.Bits             // guarded by mu; arrivals accumulated since the last tick
-	used      []bool                // guarded by mu; slot taken by an open session
-	queues    []queue.FIFO          // guarded by mu
-	scheds    []*bw.Schedule        // guarded by mu
-	lastRates []bw.Rate             // guarded by mu; rates applied on the most recent tick
-	now       bw.Tick               // guarded by mu
-	conns     map[net.Conn]struct{} // guarded by mu
-	nextExt   int                   // guarded by mu; next external session ID (multi-link)
-	extSlot   map[int]int           // guarded by mu; external ID -> slot
-	slotExt   []int                 // guarded by mu; slot -> external ID, -1 when free
+	now      atomic.Int64 // completed allocation rounds
+	nextConn atomic.Int64 // round-robin conn -> shard stripe assignment
+
+	tickCh chan int       // shard indices fanned out to the tick workers (nil when 1 shard)
+	tickWG sync.WaitGroup // joins one allocation round across shards
 
 	wg         sync.WaitGroup
 	acceptStop chan struct{} // closed when the listener stops accepting
 	closing    chan struct{} // closed when the tick loop must exit
 	done       chan struct{}
 	closeOnce  sync.Once
-}
-
-// gwMetrics holds the gateway's registered instruments. With no
-// registry attached every field is nil, and the nil-safe instrument
-// methods make each hot-path update a no-op.
-type gwMetrics struct {
-	accepts      *obs.Counter
-	acceptErrors *obs.Counter
-	messages     map[byte]*obs.Counter
-	errors       map[string]*obs.Counter
-	openFails    *obs.Counter
-	sessions     *obs.Gauge
-	conns        *obs.Gauge
-	ticks        *obs.Counter
-	arrivedBits  *obs.Counter
-	servedBits   *obs.Counter
-	allocChanges *obs.Counter
-	exchange     *obs.LiveHistogram
-}
-
-// Error classes for the gateway_errors_total counter: how a connection
-// handler ended other than by a clean CLOSE.
-const (
-	errClassEOF      = "eof"      // client hung up without CLOSE
-	errClassTimeout  = "timeout"  // idle/wedged client hit IdleTimeout
-	errClassProtocol = "protocol" // malformed or out-of-order message
-	errClassIO       = "io"       // any other read/write failure
-)
-
-func newGWMetrics(reg *obs.Registry, policy string) *gwMetrics {
-	m := &gwMetrics{}
-	if reg == nil {
-		return m
-	}
-	if policy == "" {
-		policy = "unknown"
-	}
-	m.accepts = reg.Counter("dynbw_gateway_accepts_total", "Connections accepted.")
-	m.acceptErrors = reg.Counter("dynbw_gateway_accept_errors_total", "Accept failures (each backs off the accept loop).")
-	m.messages = map[byte]*obs.Counter{
-		typeOpen:  reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "open")),
-		typeData:  reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "data")),
-		typeStats: reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "stats")),
-		typeClose: reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "close")),
-		0:         reg.Counter("dynbw_gateway_messages_total", "Wire messages handled, by type.", obs.L("type", "unknown")),
-	}
-	m.errors = map[string]*obs.Counter{}
-	for _, class := range []string{errClassEOF, errClassTimeout, errClassProtocol, errClassIO} {
-		m.errors[class] = reg.Counter("dynbw_gateway_errors_total", "Connection handler terminations, by class.", obs.L("class", class))
-	}
-	m.openFails = reg.Counter("dynbw_gateway_open_fails_total", "OPEN requests rejected with OPENFAIL (slot exhaustion).")
-	m.sessions = reg.Gauge("dynbw_gateway_active_sessions", "Session slots currently open.")
-	m.conns = reg.Gauge("dynbw_gateway_active_conns", "TCP connections currently served.")
-	m.ticks = reg.Counter("dynbw_gateway_ticks_total", "Allocation rounds run.")
-	m.arrivedBits = reg.Counter("dynbw_gateway_arrived_bits_total", "Bits accepted into session queues.")
-	m.servedBits = reg.Counter("dynbw_gateway_served_bits_total", "Bits served out of session queues.")
-	m.allocChanges = reg.Counter("dynbw_gateway_allocation_changes_total",
-		"Per-session bandwidth allocation changes — the paper's cost measure, live.", obs.L("policy", policy))
-	m.exchange = reg.Histogram("dynbw_gateway_exchange_latency_ns",
-		"Per-message handling latency (first byte read to reply written), nanoseconds.")
-	return m
-}
-
-// message returns the counter for a wire message type (the zero key is
-// the "unknown" series).
-func (m *gwMetrics) message(t byte) *obs.Counter {
-	if c, ok := m.messages[t]; ok {
-		return c
-	}
-	return m.messages[0]
 }
 
 // New starts a gateway with k session slots on addr, advancing the
@@ -256,13 +209,31 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 	if links < 1 {
 		links = 1
 	}
-	var allocs []sim.MultiAllocator
-	if links == 1 && cfg.Router == nil {
+	nshards := cfg.Shards
+	if nshards < 1 {
+		nshards = 1
+	}
+	switch {
+	case nshards > 1:
+		if links > 1 || cfg.Router != nil {
+			return nil, fmt.Errorf("gateway: sharding is single-link only (%d shards, %d links)", nshards, links)
+		}
+		if cfg.Slots%nshards != 0 {
+			return nil, fmt.Errorf("gateway: %d slots do not divide across %d shards", cfg.Slots, nshards)
+		}
+		if len(cfg.ShardAllocs) != nshards {
+			return nil, fmt.Errorf("gateway: %d shard allocators for %d shards", len(cfg.ShardAllocs), nshards)
+		}
+		for i, a := range cfg.ShardAllocs {
+			if a == nil {
+				return nil, fmt.Errorf("gateway: nil allocator for shard %d", i)
+			}
+		}
+	case links == 1 && cfg.Router == nil:
 		if cfg.Alloc == nil {
 			return nil, fmt.Errorf("gateway: nil allocator")
 		}
-		allocs = []sim.MultiAllocator{cfg.Alloc}
-	} else {
+	default:
 		if cfg.Slots%links != 0 {
 			return nil, fmt.Errorf("gateway: %d slots do not divide across %d links", cfg.Slots, links)
 		}
@@ -280,15 +251,13 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 				return nil, fmt.Errorf("gateway: nil allocator for link %d", i)
 			}
 		}
-		allocs = append([]sim.MultiAllocator(nil), cfg.LinkAllocs...)
 	}
 	ln, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		return nil, fmt.Errorf("gateway: listen: %w", err)
 	}
-	g := newBare(cfg.Slots)
+	g := newGateway(cfg.Slots, nshards)
 	g.ln = ln
-	g.allocs = allocs
 	g.links = links
 	g.lm = cfg.Slots / links
 	g.router = cfg.Router
@@ -297,156 +266,93 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 	if g.rebalLimit < 1 {
 		g.rebalLimit = 1
 	}
+	switch {
+	case nshards > 1:
+		for i, sh := range g.shards {
+			sh.allocs = []sim.MultiAllocator{cfg.ShardAllocs[i]}
+		}
+	case links > 1:
+		sh := g.shards[0]
+		sh.lm = g.lm
+		sh.allocs = append([]sim.MultiAllocator(nil), cfg.LinkAllocs...)
+	default:
+		g.shards[0].allocs = []sim.MultiAllocator{cfg.Alloc}
+	}
 	g.ticks = cfg.Ticks
 	g.idleTimeout = cfg.IdleTimeout
 	g.o = cfg.Observer
-	g.m = newGWMetrics(cfg.Metrics, cfg.Policy)
+	if sr, ok := cfg.Observer.(*obs.ShardedRing); ok {
+		g.shardObs = make([]obs.Observer, len(g.shards))
+		for i := range g.shardObs {
+			g.shardObs[i] = sr.Stripe(i)
+		}
+	}
+	g.m = newGWMetrics(cfg.Metrics, cfg.Policy, len(g.shards))
+	if cfg.Metrics != nil {
+		for i, sh := range g.shards {
+			sh := sh
+			cfg.Metrics.GaugeFunc("dynbw_gateway_shard_sessions",
+				"Session slots currently open, per gateway shard (sums to dynbw_gateway_active_sessions).",
+				sh.openCount, obs.L("shard", strconv.Itoa(i)))
+		}
+	}
 	g.log = obs.NewRateLimited(cfg.Log, time.Second)
+	if len(g.shards) > 1 {
+		g.tickCh = make(chan int, len(g.shards))
+		workers := runtime.GOMAXPROCS(0)
+		if workers > len(g.shards) {
+			workers = len(g.shards)
+		}
+		for w := 0; w < workers; w++ {
+			go g.tickWorker()
+		}
+	}
 	g.wg.Add(1)
 	go g.acceptLoop()
 	go g.tickLoop()
 	return g, nil
 }
 
-// newBare builds the slot state of a k-slot gateway with no listener and
-// no loops. It backs NewWithConfig and the FuzzHandleMessage harness,
-// which exercises handleMessage without a network.
-func newBare(k int) *Gateway {
+// newGateway builds the shard skeletons of a k-slot gateway with no
+// listener, allocators, or loops.
+func newGateway(k, nshards int) *Gateway {
 	g := &Gateway{
 		k:          k,
 		links:      1,
 		lm:         k,
-		pending:    make([]bw.Bits, k),
-		used:       make([]bool, k),
-		queues:     make([]queue.FIFO, k),
-		scheds:     make([]*bw.Schedule, k),
-		lastRates:  make([]bw.Rate, k),
+		spp:        k / nshards,
 		acceptStop: make(chan struct{}),
 		closing:    make(chan struct{}),
 		done:       make(chan struct{}),
-		conns:      make(map[net.Conn]struct{}),
-		extSlot:    make(map[int]int),
-		slotExt:    make([]int, k),
 		m:          &gwMetrics{},
 	}
-	for i := range g.scheds {
-		g.scheds[i] = &bw.Schedule{}
-	}
-	for i := range g.slotExt {
-		g.slotExt[i] = -1
+	g.shards = make([]*shard, nshards)
+	for i := range g.shards {
+		g.shards[i] = newShard(g, i, i*g.spp, g.spp)
 	}
 	return g
+}
+
+// newBare builds the slot state of a k-slot single-shard gateway with no
+// listener and no loops. It backs the FuzzHandleMessage harness, which
+// exercises handleMessage without a network.
+func newBare(k int) *Gateway {
+	return newGateway(k, 1)
 }
 
 // Addr returns the gateway's listen address.
 func (g *Gateway) Addr() string { return g.ln.Addr().String() }
 
-// Stats is the gateway-wide accounting snapshot returned by Close.
-type Stats struct {
-	Ticks          bw.Tick
-	Served         bw.Bits
-	Queued         bw.Bits
-	SessionChanges int
-	MaxTotalRate   bw.Rate
-	MaxDelay       bw.Tick
-}
-
-// Close stops serving immediately — Shutdown with no grace period.
-func (g *Gateway) Close() Stats { return g.Shutdown(0) }
-
-// Shutdown stops accepting new connections, keeps allocating and
-// serving live sessions for up to grace (so in-flight exchanges finish
-// and well-behaved clients CLOSE cleanly), then deadline-closes
-// whatever remains, waits for the loops and handlers, and returns the
-// final accounting. It is idempotent; repeated calls return the same
-// snapshot.
-func (g *Gateway) Shutdown(grace time.Duration) Stats {
-	g.closeOnce.Do(func() {
-		close(g.acceptStop)
-		g.ln.Close()
-		if grace > 0 {
-			// The tick loop keeps serving during the grace window; wait
-			// for handlers to drain on their own before forcing.
-			handlersDone := make(chan struct{})
-			go func() {
-				g.wg.Wait()
-				close(handlersDone)
-			}()
-			select {
-			case <-handlersDone:
-			case <-time.After(grace):
-			}
-		}
-		close(g.closing)
-		// Unblock handlers parked in reads on live client connections.
-		g.mu.Lock()
-		for c := range g.conns {
-			c.Close()
-		}
-		g.mu.Unlock()
-		g.wg.Wait()
-		<-g.done
-	})
-
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	var st Stats
-	st.Ticks = g.now
-	total := bw.Sum(g.scheds...)
-	st.MaxTotalRate = total.MaxRate()
-	for i := 0; i < g.k; i++ {
-		st.Served += g.queues[i].Served()
-		st.Queued += g.queues[i].Bits()
-		st.SessionChanges += g.scheds[i].Changes()
-		if d := g.queues[i].MaxDelay(); d > st.MaxDelay {
-			st.MaxDelay = d
-		}
+// shardOf maps a wire session ID to its owning shard: IDs are global
+// slot indices in single-link mode, so the shard is ID / (k/shards).
+// Multi-link mode routes everything to the one shard that owns the
+// whole table. Callers must have validated the ID (it is one of the
+// connection's owned sessions).
+func (g *Gateway) shardOf(id int) *shard {
+	if len(g.shards) == 1 {
+		return g.shards[0]
 	}
-	return st
-}
-
-// SessionInfo is one slot's live state, served as JSON by the admin
-// /sessions endpoint.
-type SessionInfo struct {
-	Slot int `json:"slot"`
-	// Link is the backend link owning this slot (always 0 single-link).
-	Link int  `json:"link"`
-	Open bool `json:"open"`
-	// Ext is the wire session ID bound to the slot, -1 when free (equal
-	// to Slot in single-link mode).
-	Ext      int     `json:"ext"`
-	Rate     bw.Rate `json:"rate"`
-	Queued   bw.Bits `json:"queued"`
-	Served   bw.Bits `json:"served"`
-	Changes  int     `json:"changes"`
-	MaxDelay bw.Tick `json:"max_delay_ticks"`
-}
-
-// Sessions returns a point-in-time snapshot of every slot.
-func (g *Gateway) Sessions() []SessionInfo {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	out := make([]SessionInfo, g.k)
-	for i := 0; i < g.k; i++ {
-		ext := i
-		if g.router != nil {
-			ext = g.slotExt[i]
-		} else if !g.used[i] {
-			ext = -1
-		}
-		out[i] = SessionInfo{
-			Slot:     i,
-			Link:     i / g.lm,
-			Open:     g.used[i],
-			Ext:      ext,
-			Rate:     g.lastRates[i],
-			Queued:   g.queues[i].Bits(),
-			Served:   g.queues[i].Served(),
-			Changes:  g.scheds[i].Changes(),
-			MaxDelay: g.queues[i].MaxDelay(),
-		}
-	}
-	return out
+	return g.shards[id/g.spp]
 }
 
 // emit forwards an event to the observer, if any.
@@ -456,361 +362,15 @@ func (g *Gateway) emit(e obs.Event) {
 	}
 }
 
-// tickLoop owns the allocators and the queues. In multi-link mode each
-// link's allocator sees only its own slot range, and every rebalEvery
-// ticks a rebalance pass may migrate sessions between links.
-func (g *Gateway) tickLoop() {
-	defer close(g.done)
-	arrived := make([]bw.Bits, g.k)
-	queued := make([]bw.Bits, g.k)
-	for {
-		select {
-		case <-g.closing:
-			return
-		case <-g.ticks:
-			var arrivedBits, servedBits bw.Bits
-			var changes int64
-			g.mu.Lock()
-			t := g.now
-			for i := 0; i < g.k; i++ {
-				arrived[i] = g.pending[i]
-				g.pending[i] = 0
-				g.queues[i].Push(t, arrived[i])
-				queued[i] = g.queues[i].Bits()
-				arrivedBits += arrived[i]
-			}
-			for l := 0; l < g.links; l++ {
-				lo, hi := l*g.lm, (l+1)*g.lm
-				rates := g.allocs[l].Rates(t, arrived[lo:hi], queued[lo:hi])
-				for i := 0; i < g.lm && i < len(rates); i++ {
-					s := lo + i
-					r := rates[i]
-					if r < 0 {
-						r = 0
-					}
-					g.scheds[s].Set(t, r)
-					servedBits += g.queues[s].Serve(t, r)
-					if r != g.lastRates[s] {
-						changes++
-						g.lastRates[s] = r
-					}
-				}
-			}
-			if g.rebalEvery > 0 && t > 0 && t%g.rebalEvery == 0 {
-				g.rebalance()
-			}
-			g.now++
-			g.mu.Unlock()
-			g.m.ticks.Inc()
-			g.m.arrivedBits.Add(int64(arrivedBits))
-			g.m.servedBits.Add(int64(servedBits))
-			g.m.allocChanges.Add(changes)
-		}
-	}
-}
-
-// rebalance asks the router for load-evening moves and migrates each
-// moved session's slot state — queue, pending bits, occupancy — to a
-// free slot on the destination link. The external session ID is stable
-// across the move, so clients notice nothing. Callers must hold mu.
-func (g *Gateway) rebalance() {
-	rb, ok := g.router.(route.Rebalancer)
-	if !ok {
-		return
-	}
-	for _, mv := range rb.Rebalance(g.rebalLimit) {
-		src, ok := g.extSlot[mv.Session]
-		if !ok {
-			continue
-		}
-		dst := -1
-		for s := int(mv.To) * g.lm; s < (int(mv.To)+1)*g.lm; s++ {
-			if !g.used[s] {
-				dst = s
-				break
-			}
-		}
-		if dst < 0 {
-			// The router admitted the move, so its slot accounting says
-			// there is room; a full link here means the two views diverged.
-			g.log.Log(slog.LevelWarn, "rebalance", "gateway: no free slot on rebalance target",
-				"session", mv.Session, "to", int(mv.To))
-			continue
-		}
-		g.queues[dst] = g.queues[src]
-		g.queues[src] = queue.FIFO{}
-		g.pending[dst] = g.pending[src]
-		g.pending[src] = 0
-		g.used[src], g.used[dst] = false, true
-		g.slotExt[src], g.slotExt[dst] = -1, mv.Session
-		g.extSlot[mv.Session] = dst
-	}
-}
-
-// acceptLoop accepts client connections, backing off exponentially on
-// persistent Accept errors (up to maxAcceptBackoff) instead of busy
-// spinning — under file-descriptor pressure a tight retry loop would
-// starve the very handlers whose exits free descriptors.
-func (g *Gateway) acceptLoop() {
-	defer g.wg.Done()
-	var backoff time.Duration
-	for {
-		conn, err := g.ln.Accept()
-		if err != nil {
-			select {
-			case <-g.acceptStop:
-				return
-			default:
-			}
-			g.m.acceptErrors.Inc()
-			g.log.Log(slog.LevelWarn, "accept", "gateway: accept failed", "err", err, "backoff", backoff)
-			if backoff == 0 {
-				backoff = time.Millisecond
-			} else if backoff *= 2; backoff > maxAcceptBackoff {
-				backoff = maxAcceptBackoff
-			}
-			select {
-			case <-g.acceptStop:
-				return
-			case <-time.After(backoff):
-			}
-			continue
-		}
-		backoff = 0
-		g.m.accepts.Inc()
-		g.m.conns.Add(1)
-		g.mu.Lock()
-		g.conns[conn] = struct{}{}
-		g.mu.Unlock()
-		g.wg.Add(1)
-		go g.handle(conn)
-	}
-}
-
-// openSession claims a slot and returns the session ID handed to the
-// client. Single-link mode scans for a free slot and the ID is the slot
-// index; multi-link mode asks the router for a link, mints a fresh
-// external ID, and binds it to a free slot on that link.
-func (g *Gateway) openSession() (int, error) {
-	g.mu.Lock()
-	if g.router == nil {
-		for i := 0; i < g.k; i++ {
-			if !g.used[i] {
-				g.used[i] = true
-				g.mu.Unlock()
-				g.m.sessions.Add(1)
-				return i, nil
-			}
-		}
-		g.mu.Unlock()
-		return 0, ErrSessionLimit
-	}
-	ext := g.nextExt
-	l := g.router.Place(route.Session{ID: ext, Rate: 1})
-	if l == route.Blocked {
-		g.mu.Unlock()
-		return 0, ErrSessionLimit
-	}
-	slot := -1
-	for s := int(l) * g.lm; s < (int(l)+1)*g.lm; s++ {
-		if !g.used[s] {
-			slot = s
-			break
-		}
-	}
-	if slot < 0 {
-		// Router and gateway occupancy are updated in lockstep under mu,
-		// so an admitted link always has a free slot; recover anyway.
-		g.router.Release(ext)
-		g.mu.Unlock()
-		return 0, ErrSessionLimit
-	}
-	g.nextExt++
-	g.used[slot] = true
-	g.slotExt[slot] = ext
-	g.extSlot[ext] = slot
-	g.mu.Unlock()
-	g.m.sessions.Add(1)
-	return ext, nil
-}
-
-func (g *Gateway) releaseSession(id int) {
-	g.mu.Lock()
-	if g.router == nil {
-		g.used[id] = false
-	} else if slot, ok := g.extSlot[id]; ok {
-		g.used[slot] = false
-		g.slotExt[slot] = -1
-		delete(g.extSlot, id)
-		g.router.Release(id)
-	}
-	g.mu.Unlock()
-	g.m.sessions.Add(-1)
-}
-
-// slot maps a wire session ID to its current slot index. Callers must
-// hold mu and must have validated the ID (it is the connection's owned
-// session).
-func (g *Gateway) slot(id int) int {
-	if g.router == nil {
-		return id
-	}
-	return g.extSlot[id]
-}
-
-// handle serves one client connection: a deadline-bounded loop of
-// handleMessage calls.
-func (g *Gateway) handle(conn net.Conn) {
-	defer g.wg.Done()
-	defer conn.Close()
-	owned := -1
-	defer func() {
-		if owned >= 0 {
-			g.releaseSession(owned)
-		}
-		g.mu.Lock()
-		delete(g.conns, conn)
-		g.mu.Unlock()
-		g.m.conns.Add(-1)
-	}()
-	for {
-		if g.idleTimeout > 0 {
-			// One deadline per message covers both the read of the next
-			// request and the write of its reply.
-			if err := conn.SetDeadline(time.Now().Add(g.idleTimeout)); err != nil {
-				return
-			}
-		}
-		if err := g.handleMessage(conn, conn, &owned); err != nil {
-			g.observeDisconnect(conn, err, owned)
+// emitAt forwards an event through the given shard's emission handle —
+// its ring stripe when a ShardedRing is attached, else the plain
+// observer.
+func (g *Gateway) emitAt(shard int, e obs.Event) {
+	if len(g.shardObs) > 0 {
+		if o := g.shardObs[shard%len(g.shardObs)]; o != nil {
+			o.Event(e)
 			return
 		}
 	}
-}
-
-// observeDisconnect classifies why a connection handler is exiting and
-// routes it through the error counters, the rate-limited log, and (for
-// idle disconnects) the event ring. A bare EOF is a client hanging up
-// without CLOSE — counted, but not log-worthy.
-func (g *Gateway) observeDisconnect(conn net.Conn, err error, owned int) {
-	var nerr net.Error
-	switch {
-	case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
-		g.m.errors[errClassEOF].Inc()
-	case errors.As(err, &nerr) && nerr.Timeout():
-		g.m.errors[errClassTimeout].Inc()
-		g.emit(obs.Event{Type: obs.EventIdleDisconnect, Session: owned})
-		g.log.Log(slog.LevelWarn, "idle", "gateway: disconnecting idle client",
-			"remote", conn.RemoteAddr().String(), "session", owned)
-	case errors.Is(err, errProtocol):
-		g.m.errors[errClassProtocol].Inc()
-		g.log.Log(slog.LevelWarn, "protocol", "gateway: protocol violation",
-			"remote", conn.RemoteAddr().String(), "session", owned, "err", err)
-	default:
-		g.m.errors[errClassIO].Inc()
-		g.log.Log(slog.LevelWarn, "io", "gateway: connection error",
-			"remote", conn.RemoteAddr().String(), "session", owned, "err", err)
-	}
-}
-
-// handleMessage reads exactly one message from r, applies it, and writes
-// any reply to w. *owned tracks the slot held by this connection (-1 when
-// none); handleMessage updates it on OPEN and CLOSE. A non-nil error
-// (read failure or protocol violation) means the connection must be
-// dropped. The function is the entire wire-facing surface of the gateway
-// and is fuzzed by FuzzHandleMessage.
-func (g *Gateway) handleMessage(r io.Reader, w io.Writer, owned *int) error {
-	var typ [1]byte
-	if _, err := io.ReadFull(r, typ[:]); err != nil {
-		return err
-	}
-	g.m.message(typ[0]).Inc()
-	if g.m.exchange != nil {
-		start := time.Now()
-		defer func() { g.m.exchange.Observe(int64(time.Since(start))) }()
-	}
-	switch typ[0] {
-	case typeOpen:
-		if *owned >= 0 {
-			return fmt.Errorf("%w: OPEN on a connection that owns session %d", errProtocol, *owned)
-		}
-		id, err := g.openSession()
-		if err != nil {
-			// Slot exhaustion is an expected steady-state condition under
-			// load, not a protocol violation: tell the client and keep the
-			// connection so it can retry after backoff.
-			g.m.openFails.Inc()
-			g.emit(obs.Event{Type: obs.EventOpenFail, Session: -1})
-			if _, werr := w.Write([]byte{typeOpenFail}); werr != nil {
-				return werr
-			}
-			return nil
-		}
-		*owned = id
-		g.emit(obs.Event{Type: obs.EventSessionOpen, Session: id})
-		var reply [5]byte
-		reply[0] = typeOpened
-		binary.BigEndian.PutUint32(reply[1:], uint32(id))
-		if _, err := w.Write(reply[:]); err != nil {
-			return err
-		}
-	case typeData:
-		var body [12]byte
-		if _, err := io.ReadFull(r, body[:]); err != nil {
-			return err
-		}
-		id := int(binary.BigEndian.Uint32(body[0:]))
-		bits := int64(binary.BigEndian.Uint64(body[4:]))
-		if id != *owned || bits < 0 {
-			return fmt.Errorf("%w: DATA session=%d bits=%d (own %d)", errProtocol, id, bits, *owned)
-		}
-		g.mu.Lock()
-		g.pending[g.slot(id)] += bits
-		g.mu.Unlock()
-	case typeStats:
-		var body [4]byte
-		if _, err := io.ReadFull(r, body[:]); err != nil {
-			return err
-		}
-		id := int(binary.BigEndian.Uint32(body[:]))
-		if id != *owned {
-			return fmt.Errorf("%w: STATS session=%d (own %d)", errProtocol, id, *owned)
-		}
-		g.mu.Lock()
-		slot := g.slot(id)
-		served := g.queues[slot].Served()
-		queued := g.queues[slot].Bits()
-		maxDelay := g.queues[slot].MaxDelay()
-		changes := g.scheds[slot].Changes()
-		g.mu.Unlock()
-		var reply [statsReplyLen]byte
-		reply[0] = typeStatsR
-		binary.BigEndian.PutUint64(reply[1:], uint64(served))
-		binary.BigEndian.PutUint64(reply[9:], uint64(queued))
-		binary.BigEndian.PutUint64(reply[17:], uint64(maxDelay))
-		binary.BigEndian.PutUint64(reply[25:], uint64(changes))
-		if _, err := w.Write(reply[:]); err != nil {
-			return err
-		}
-	case typeClose:
-		var body [4]byte
-		if _, err := io.ReadFull(r, body[:]); err != nil {
-			return err
-		}
-		id := int(binary.BigEndian.Uint32(body[:]))
-		if id != *owned {
-			return fmt.Errorf("%w: CLOSE session=%d (own %d)", errProtocol, id, *owned)
-		}
-		// Release before replying: a client that has read CLOSED may dial
-		// or OPEN again immediately and must find the slot free.
-		g.releaseSession(id)
-		*owned = -1
-		g.emit(obs.Event{Type: obs.EventSessionClose, Session: id})
-		if _, err := w.Write([]byte{typeClosed}); err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("%w: unknown message type %d", errProtocol, typ[0])
-	}
-	return nil
+	g.emit(e)
 }

@@ -1,0 +1,81 @@
+package gateway
+
+import (
+	"dynbw/internal/obs"
+)
+
+// gwMetrics holds the gateway's registered instruments. Hot-path
+// counters touched by handlers and tick workers are lock-striped per
+// shard (obs.Striped / obs.StripedHistogram) and exported through
+// CounterFunc/HistogramFunc, which merge the stripes at scrape time —
+// so concurrent shards never contend on a metrics mutex. With no
+// registry attached every field is nil, and the nil-safe instrument
+// methods make each hot-path update a no-op.
+type gwMetrics struct {
+	accepts      *obs.Counter
+	acceptErrors *obs.Counter
+	messages     map[byte]*obs.Striped
+	errors       map[string]*obs.Counter
+	openFails    *obs.Counter
+	sessions     *obs.Gauge
+	conns        *obs.Gauge
+	ticks        *obs.Counter
+	arrivedBits  *obs.Striped
+	servedBits   *obs.Striped
+	allocChanges *obs.Striped
+	exchange     *obs.StripedHistogram
+}
+
+func newGWMetrics(reg *obs.Registry, policy string, stripes int) *gwMetrics {
+	m := &gwMetrics{}
+	if reg == nil {
+		return m
+	}
+	if policy == "" {
+		policy = "unknown"
+	}
+	m.accepts = reg.Counter("dynbw_gateway_accepts_total", "Connections accepted.")
+	m.acceptErrors = reg.Counter("dynbw_gateway_accept_errors_total", "Accept failures (each backs off the accept loop).")
+	m.messages = make(map[byte]*obs.Striped, 5)
+	for typ, label := range map[byte]string{
+		typeOpen:  "open",
+		typeData:  "data",
+		typeStats: "stats",
+		typeClose: "close",
+		0:         "unknown",
+	} {
+		s := obs.NewStriped(stripes)
+		reg.CounterFunc("dynbw_gateway_messages_total", "Wire messages handled, by type.", s.Value, obs.L("type", label))
+		m.messages[typ] = s
+	}
+	m.errors = map[string]*obs.Counter{}
+	for _, class := range []string{errClassEOF, errClassTimeout, errClassProtocol, errClassIO} {
+		m.errors[class] = reg.Counter("dynbw_gateway_errors_total", "Connection handler terminations, by class.", obs.L("class", class))
+	}
+	m.openFails = reg.Counter("dynbw_gateway_open_fails_total", "OPEN requests rejected with OPENFAIL (slot exhaustion).")
+	m.sessions = reg.Gauge("dynbw_gateway_active_sessions", "Session slots currently open.")
+	m.conns = reg.Gauge("dynbw_gateway_active_conns", "TCP connections currently served.")
+	m.ticks = reg.Counter("dynbw_gateway_ticks_total", "Allocation rounds run.")
+	m.arrivedBits = obs.NewStriped(stripes)
+	reg.CounterFunc("dynbw_gateway_arrived_bits_total", "Bits accepted into session queues.", m.arrivedBits.Value)
+	m.servedBits = obs.NewStriped(stripes)
+	reg.CounterFunc("dynbw_gateway_served_bits_total", "Bits served out of session queues.", m.servedBits.Value)
+	m.allocChanges = obs.NewStriped(stripes)
+	reg.CounterFunc("dynbw_gateway_allocation_changes_total",
+		"Per-session bandwidth allocation changes — the paper's cost measure, live.",
+		m.allocChanges.Value, obs.L("policy", policy))
+	m.exchange = obs.NewStripedHistogram(stripes)
+	reg.HistogramFunc("dynbw_gateway_exchange_latency_ns",
+		"Per-message handling latency (first byte read to reply written), nanoseconds.",
+		m.exchange.Snapshot)
+	return m
+}
+
+// message returns the striped counter for a wire message type (the zero
+// key is the "unknown" series).
+func (m *gwMetrics) message(t byte) *obs.Striped {
+	if c, ok := m.messages[t]; ok {
+		return c
+	}
+	return m.messages[0]
+}

@@ -1,0 +1,181 @@
+package gateway
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"dynbw/internal/bw"
+)
+
+// Mux multiplexes many sessions over one TCP connection. A Client holds
+// one connection per session, which exhausts file descriptors around a
+// few thousand sessions; a Mux holds hundreds of sessions on a single
+// descriptor, which is what lets a 100k-session soak fit inside an
+// ordinary fd limit. It is safe for concurrent use: a mutex serializes
+// every request/reply exchange on the shared connection, so goroutines
+// driving different sessions can share one Mux.
+type Mux struct {
+	mu      sync.Mutex
+	conn    net.Conn
+	timeout time.Duration
+	open    map[uint32]struct{} // guarded by mu; sessions this conn holds
+	closed  bool                // guarded by mu
+}
+
+// DialMux connects to a gateway without opening any session. The
+// timeout bounds the dial and, when positive, every subsequent
+// request/reply exchange.
+func DialMux(addr string, timeout time.Duration) (*Mux, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("gateway: dial: %w", err)
+	}
+	return &Mux{conn: conn, timeout: timeout, open: make(map[uint32]struct{})}, nil
+}
+
+func (m *Mux) armDeadline() {
+	if m.timeout > 0 {
+		m.conn.SetDeadline(time.Now().Add(m.timeout))
+	}
+}
+
+func (m *Mux) disarmDeadline() {
+	if m.timeout > 0 {
+		m.conn.SetDeadline(time.Time{})
+	}
+}
+
+// Open performs an OPEN/OPENED exchange and returns the new session ID.
+// ErrSessionLimit means every slot is taken; the Mux stays usable.
+func (m *Mux) Open() (uint32, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return 0, fmt.Errorf("gateway: open on closed mux")
+	}
+	m.armDeadline()
+	defer m.disarmDeadline()
+	if _, err := m.conn.Write([]byte{typeOpen}); err != nil {
+		return 0, fmt.Errorf("gateway: open: %w", err)
+	}
+	var typ [1]byte
+	if _, err := io.ReadFull(m.conn, typ[:]); err != nil {
+		return 0, fmt.Errorf("gateway: open reply: %w", err)
+	}
+	switch typ[0] {
+	case typeOpened:
+		var body [4]byte
+		if _, err := io.ReadFull(m.conn, body[:]); err != nil {
+			return 0, fmt.Errorf("gateway: open reply: %w", err)
+		}
+		id := binary.BigEndian.Uint32(body[:])
+		m.open[id] = struct{}{}
+		return id, nil
+	case typeOpenFail:
+		return 0, ErrSessionLimit
+	default:
+		return 0, fmt.Errorf("gateway: unexpected open reply type %d", typ[0])
+	}
+}
+
+// Send submits bits to one of the mux's sessions (no reply).
+func (m *Mux) Send(session uint32, bits bw.Bits) error {
+	if bits < 0 {
+		return fmt.Errorf("gateway: negative send %d", bits)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.open[session]; !ok {
+		return fmt.Errorf("gateway: send on unowned session %d", session)
+	}
+	var msg [13]byte
+	msg[0] = typeData
+	binary.BigEndian.PutUint32(msg[1:], session)
+	binary.BigEndian.PutUint64(msg[5:], uint64(bits))
+	m.armDeadline()
+	defer m.disarmDeadline()
+	if _, err := m.conn.Write(msg[:]); err != nil {
+		return fmt.Errorf("gateway: send: %w", err)
+	}
+	return nil
+}
+
+// Stats fetches one session's accounting from the gateway.
+func (m *Mux) Stats(session uint32) (SessionStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.open[session]; !ok {
+		return SessionStats{}, fmt.Errorf("gateway: stats on unowned session %d", session)
+	}
+	var req [5]byte
+	req[0] = typeStats
+	binary.BigEndian.PutUint32(req[1:], session)
+	m.armDeadline()
+	defer m.disarmDeadline()
+	if _, err := m.conn.Write(req[:]); err != nil {
+		return SessionStats{}, fmt.Errorf("gateway: stats: %w", err)
+	}
+	var reply [statsReplyLen]byte
+	if _, err := io.ReadFull(m.conn, reply[:]); err != nil {
+		return SessionStats{}, fmt.Errorf("gateway: stats reply: %w", err)
+	}
+	if reply[0] != typeStatsR {
+		return SessionStats{}, fmt.Errorf("gateway: unexpected stats reply type %d", reply[0])
+	}
+	return SessionStats{
+		Served:   bw.Bits(binary.BigEndian.Uint64(reply[1:])),
+		Queued:   bw.Bits(binary.BigEndian.Uint64(reply[9:])),
+		MaxDelay: bw.Tick(binary.BigEndian.Uint64(reply[17:])),
+		Changes:  int64(binary.BigEndian.Uint64(reply[25:])),
+	}, nil
+}
+
+// CloseSession returns one session's slot to the gateway with an
+// explicit CLOSE/CLOSED exchange; the slot is guaranteed free when it
+// returns nil. Closing a session the mux no longer holds is a no-op.
+func (m *Mux) CloseSession(session uint32) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.open[session]; !ok {
+		return nil
+	}
+	var req [5]byte
+	req[0] = typeClose
+	binary.BigEndian.PutUint32(req[1:], session)
+	m.armDeadline()
+	defer m.disarmDeadline()
+	if _, err := m.conn.Write(req[:]); err != nil {
+		return fmt.Errorf("gateway: close: %w", err)
+	}
+	var reply [1]byte
+	if _, err := io.ReadFull(m.conn, reply[:]); err != nil {
+		return fmt.Errorf("gateway: close reply: %w", err)
+	}
+	if reply[0] != typeClosed {
+		return fmt.Errorf("gateway: unexpected close reply type %d", reply[0])
+	}
+	delete(m.open, session)
+	return nil
+}
+
+// Sessions reports how many sessions the mux currently holds.
+func (m *Mux) Sessions() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.open)
+}
+
+// Close tears down the connection. Sessions still open are released by
+// the gateway's handler when it observes the disconnect, so an explicit
+// per-session CLOSE sweep is not required for slot recycling — only for
+// the stronger "free before Close returns" guarantee of CloseSession.
+func (m *Mux) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.closed = true
+	return m.conn.Close()
+}

@@ -1,0 +1,286 @@
+package gateway
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"dynbw/internal/bw"
+	"dynbw/internal/core"
+	"dynbw/internal/sim"
+)
+
+// perSlotAlloc serves each slot independently at up to cap per tick —
+// rates depend only on the slot's own queue, so partitioning the slot
+// table across shards cannot change any slot's trace. That makes it the
+// reference allocator for sharded-vs-unsharded equivalence tests.
+type perSlotAlloc struct {
+	cap bw.Rate
+}
+
+func (a perSlotAlloc) Rates(t bw.Tick, arrived, queued []bw.Bits) []bw.Rate {
+	rates := make([]bw.Rate, len(queued))
+	for i, q := range queued {
+		r := bw.Rate(q)
+		if r > a.cap {
+			r = a.cap
+		}
+		rates[i] = r
+	}
+	return rates
+}
+
+// startSharded launches a gateway with k slots over nshards shards (1
+// means the classic unsharded config) using perSlotAlloc everywhere.
+func startSharded(t *testing.T, k, nshards int, perSlotCap bw.Rate) (*Gateway, *manualTicks) {
+	t.Helper()
+	ticks := newManualTicks()
+	cfg := Config{Addr: "127.0.0.1:0", Slots: k, Ticks: ticks.ch}
+	if nshards > 1 {
+		cfg.Shards = nshards
+		cfg.ShardAllocs = make([]sim.MultiAllocator, nshards)
+		for i := range cfg.ShardAllocs {
+			cfg.ShardAllocs[i] = perSlotAlloc{cap: perSlotCap}
+		}
+	} else {
+		cfg.Alloc = perSlotAlloc{cap: perSlotCap}
+	}
+	g, err := NewWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ticks
+}
+
+func TestShardedConfigValidation(t *testing.T) {
+	ch := make(chan time.Time)
+	alloc := perSlotAlloc{cap: 8}
+	base := Config{Addr: "127.0.0.1:0", Slots: 8, Ticks: ch}
+
+	cfg := base
+	cfg.Shards = 3
+	cfg.ShardAllocs = []sim.MultiAllocator{alloc, alloc, alloc}
+	if _, err := NewWithConfig(cfg); err == nil {
+		t.Error("8 slots over 3 shards accepted")
+	}
+	cfg = base
+	cfg.Shards = 4
+	cfg.ShardAllocs = []sim.MultiAllocator{alloc}
+	if _, err := NewWithConfig(cfg); err == nil {
+		t.Error("1 allocator for 4 shards accepted")
+	}
+	cfg = base
+	cfg.Shards = 2
+	cfg.ShardAllocs = []sim.MultiAllocator{alloc, nil}
+	if _, err := NewWithConfig(cfg); err == nil {
+		t.Error("nil shard allocator accepted")
+	}
+	cfg = base
+	cfg.Shards = 2
+	cfg.Links = 2
+	p := core.MultiParams{K: 4, BO: 64, DO: 4}
+	cfg.LinkAllocs = []sim.MultiAllocator{core.MustNewPhased(p), core.MustNewPhased(p)}
+	cfg.ShardAllocs = []sim.MultiAllocator{alloc, alloc}
+	if _, err := NewWithConfig(cfg); err == nil {
+		t.Error("sharded multi-link accepted")
+	}
+}
+
+// runShardedTrace drives one deterministic workload — fill every slot,
+// send slot-dependent payloads, tick, close half, tick again — and
+// returns the final accounting.
+func runShardedTrace(t *testing.T, nshards int) Stats {
+	t.Helper()
+	const k = 8
+	g, ticks := startSharded(t, k, nshards, 4)
+	m, err := DialMux(g.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ids := make([]uint32, k)
+	for i := range ids {
+		id, err := m.Open()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	for i, id := range ids {
+		if err := m.Send(id, bw.Bits(16+4*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The Stats round-trip flushes every DATA message before ticking.
+	if _, err := m.Stats(ids[k-1]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		ticks.tick()
+	}
+	for i := 0; i < k; i += 2 {
+		if err := m.CloseSession(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		ticks.tick()
+	}
+	return g.Close()
+}
+
+// TestShardedStatsMatchUnsharded is the refactor's equivalence gate: the
+// same deterministic trace through a 1-shard and a 4-shard gateway must
+// produce identical merged accounting — sharding moves the lock
+// boundaries, never the numbers.
+func TestShardedStatsMatchUnsharded(t *testing.T) {
+	single := runShardedTrace(t, 1)
+	sharded := runShardedTrace(t, 4)
+	if single != sharded {
+		t.Errorf("sharded accounting diverged:\n 1 shard: %+v\n4 shards: %+v", single, sharded)
+	}
+}
+
+// TestShardedSessionsSpread asserts the slot table really is partitioned:
+// filling every slot touches every shard, the /sessions snapshot tags
+// each slot with its shard, and wire IDs map to shards by slot range.
+func TestShardedSessionsSpread(t *testing.T) {
+	const k, nshards = 16, 4
+	g, _ := startSharded(t, k, nshards, 4)
+	defer g.Close()
+	m, err := DialMux(g.Addr(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	for i := 0; i < k; i++ {
+		if _, err := m.Open(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Open(); err != ErrSessionLimit {
+		t.Errorf("open past capacity: %v, want ErrSessionLimit", err)
+	}
+	perShard := map[int]int{}
+	for _, s := range g.Sessions() {
+		if !s.Open {
+			t.Errorf("slot %d not open after fill", s.Slot)
+		}
+		if want := s.Slot / (k / nshards); s.Shard != want {
+			t.Errorf("slot %d tagged shard %d, want %d", s.Slot, s.Shard, want)
+		}
+		perShard[s.Shard]++
+	}
+	for sh := 0; sh < nshards; sh++ {
+		if perShard[sh] != k/nshards {
+			t.Errorf("shard %d holds %d slots, want %d", sh, perShard[sh], k/nshards)
+		}
+	}
+}
+
+// TestMuxConcurrentSessions hammers one multiplexed connection from many
+// goroutines, each driving its own session, while ticks run — the
+// race-detector workout for the sharded slot table and the Mux's
+// serialization of the shared conn.
+func TestMuxConcurrentSessions(t *testing.T) {
+	const k, nshards, workers, ops = 16, 4, 8, 50
+	g, ticks := startSharded(t, k, nshards, 64)
+	stop := make(chan struct{})
+	var pump sync.WaitGroup
+	pump.Add(1)
+	go func() {
+		defer pump.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				ticks.tick()
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}()
+
+	m, err := DialMux(g.Addr(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			id, err := m.Open()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := 0; i < ops; i++ {
+				if err := m.Send(id, 8); err != nil {
+					errs <- fmt.Errorf("send: %w", err)
+					return
+				}
+				if _, err := m.Stats(id); err != nil {
+					errs <- fmt.Errorf("stats: %w", err)
+					return
+				}
+			}
+			if err := m.CloseSession(id); err != nil {
+				errs <- fmt.Errorf("close: %w", err)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	pump.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	// Two manual ticks drain any pending bits that arrived after the
+	// pump's final round into the queues, where Close() can count them.
+	ticks.tick()
+	ticks.tick()
+	m.Close()
+	st := g.Close()
+	if want := bw.Bits(workers * ops * 8); st.Served+st.Queued != want {
+		t.Errorf("served %d + queued %d != %d sent", st.Served, st.Queued, want)
+	}
+}
+
+// TestMuxValidation covers the Mux's client-side guards.
+func TestMuxValidation(t *testing.T) {
+	g, _ := startSharded(t, 4, 2, 4)
+	defer g.Close()
+	m, err := DialMux(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(99, 8); err == nil {
+		t.Error("send on unowned session accepted")
+	}
+	if _, err := m.Stats(99); err == nil {
+		t.Error("stats on unowned session accepted")
+	}
+	if err := m.CloseSession(99); err != nil {
+		t.Errorf("close of unowned session: %v, want nil no-op", err)
+	}
+	id, err := m.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(id, -1); err == nil {
+		t.Error("negative send accepted")
+	}
+	if n := m.Sessions(); n != 1 {
+		t.Errorf("Sessions = %d, want 1", n)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Open(); err == nil {
+		t.Error("open on closed mux accepted")
+	}
+}

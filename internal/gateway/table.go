@@ -1,0 +1,133 @@
+package gateway
+
+import (
+	"time"
+
+	"dynbw/internal/bw"
+)
+
+// Stats is the gateway-wide accounting snapshot returned by Close. On a
+// sharded gateway it is the merge of every shard's slice of the table;
+// the per-slot bookkeeping is identical either way, so a sharded and an
+// unsharded gateway fed the same deterministic trace report the same
+// totals.
+type Stats struct {
+	Ticks          bw.Tick
+	Served         bw.Bits
+	Queued         bw.Bits
+	SessionChanges int
+	MaxTotalRate   bw.Rate
+	MaxDelay       bw.Tick
+}
+
+// Close stops serving immediately — Shutdown with no grace period.
+func (g *Gateway) Close() Stats { return g.Shutdown(0) }
+
+// Shutdown stops accepting new connections, keeps allocating and
+// serving live sessions for up to grace (so in-flight exchanges finish
+// and well-behaved clients CLOSE cleanly), then deadline-closes
+// whatever remains, waits for the loops and handlers, and returns the
+// final accounting. It is idempotent; repeated calls return the same
+// snapshot.
+func (g *Gateway) Shutdown(grace time.Duration) Stats {
+	g.closeOnce.Do(func() {
+		close(g.acceptStop)
+		g.ln.Close()
+		if grace > 0 {
+			// The tick loop keeps serving during the grace window; wait
+			// for handlers to drain on their own before forcing.
+			handlersDone := make(chan struct{})
+			go func() {
+				g.wg.Wait()
+				close(handlersDone)
+			}()
+			select {
+			case <-handlersDone:
+			case <-time.After(grace):
+			}
+		}
+		close(g.closing)
+		// Unblock handlers parked in reads on live client connections.
+		for _, sh := range g.shards {
+			sh.mu.Lock()
+			for c := range sh.conns {
+				c.Close()
+			}
+			sh.mu.Unlock()
+		}
+		g.wg.Wait()
+		<-g.done
+	})
+
+	var st Stats
+	st.Ticks = bw.Tick(g.now.Load())
+	scheds := make([]*bw.Schedule, 0, g.k)
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		for i := 0; i < sh.n; i++ {
+			st.Served += sh.queues[i].Served()
+			st.Queued += sh.queues[i].Bits()
+			st.SessionChanges += sh.scheds[i].Changes()
+			if d := sh.queues[i].MaxDelay(); d > st.MaxDelay {
+				st.MaxDelay = d
+			}
+		}
+		scheds = append(scheds, sh.scheds...)
+		sh.mu.Unlock()
+	}
+	st.MaxTotalRate = bw.Sum(scheds...).MaxRate()
+	return st
+}
+
+// SessionInfo is one slot's live state, served as JSON by the admin
+// /sessions endpoint.
+type SessionInfo struct {
+	Slot int `json:"slot"`
+	// Shard is the gateway shard owning this slot (always 0 unsharded).
+	Shard int `json:"shard"`
+	// Link is the backend link owning this slot (always 0 single-link).
+	Link int  `json:"link"`
+	Open bool `json:"open"`
+	// Ext is the wire session ID bound to the slot, -1 when free (equal
+	// to Slot in single-link mode).
+	Ext      int     `json:"ext"`
+	Rate     bw.Rate `json:"rate"`
+	Queued   bw.Bits `json:"queued"`
+	Served   bw.Bits `json:"served"`
+	Changes  int     `json:"changes"`
+	MaxDelay bw.Tick `json:"max_delay_ticks"`
+}
+
+// Sessions returns a point-in-time snapshot of every slot, in global
+// slot order. Shards are snapshotted one at a time, so each shard's
+// rows are internally consistent; cross-shard skew is bounded by the
+// walk itself (no tick can interleave mid-shard).
+func (g *Gateway) Sessions() []SessionInfo {
+	out := make([]SessionInfo, 0, g.k)
+	for _, sh := range g.shards {
+		sh.mu.Lock()
+		for i := 0; i < sh.n; i++ {
+			slot := sh.base + i
+			ext := slot
+			if g.router != nil {
+				ext = sh.slotExt[i]
+			} else if !sh.used[i] {
+				ext = -1
+			}
+			out = append(out, SessionInfo{
+				Slot:     slot,
+				Shard:    sh.idx,
+				Link:     slot / g.lm,
+				Open:     sh.used[i],
+				Ext:      ext,
+				Rate:     sh.lastRates[i],
+				Queued:   sh.queues[i].Bits(),
+				Served:   sh.queues[i].Served(),
+				Changes:  sh.scheds[i].Changes(),
+				MaxDelay: sh.queues[i].MaxDelay(),
+			})
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package gateway
+
+import (
+	"dynbw/internal/bw"
+)
+
+// tickLoop owns the gateway clock. Each received tick runs one
+// allocation round: single-shard gateways run it inline, sharded
+// gateways fan the round out to the tick workers and join before
+// advancing now — so every shard computes rates for the same tick t and
+// the cost measure is identical to the single-lock gateway's.
+func (g *Gateway) tickLoop() {
+	defer close(g.done)
+	if g.tickCh != nil {
+		defer close(g.tickCh)
+	}
+	for {
+		select {
+		case <-g.closing:
+			return
+		case <-g.ticks:
+			t := bw.Tick(g.now.Load())
+			if g.tickCh == nil {
+				g.shardRound(g.shards[0], t)
+			} else {
+				g.tickWG.Add(len(g.shards))
+				for i := range g.shards {
+					g.tickCh <- i
+				}
+				g.tickWG.Wait()
+			}
+			g.now.Add(1)
+			g.m.ticks.Inc()
+		}
+	}
+}
+
+// tickWorker drains shard indices off tickCh, running one shard's
+// allocation round per index. Workers are started once at construction
+// (capped at GOMAXPROCS) and exit when the tick loop closes the channel.
+// Each index is sent exactly once per round, so no two workers ever
+// process the same shard concurrently.
+func (g *Gateway) tickWorker() {
+	for idx := range g.tickCh {
+		g.shardRound(g.shards[idx], bw.Tick(g.now.Load()))
+		g.tickWG.Done()
+	}
+}
+
+// shardRound runs one allocation round on one shard and folds the
+// result into the shard's stripe of the gateway counters.
+func (g *Gateway) shardRound(sh *shard, t bw.Tick) {
+	arrivedBits, servedBits, changes := sh.tick(t)
+	g.m.arrivedBits.Add(sh.idx, int64(arrivedBits))
+	g.m.servedBits.Add(sh.idx, int64(servedBits))
+	g.m.allocChanges.Add(sh.idx, changes)
+}
+
+// tick runs one allocation round over this shard's slots: drain pending
+// arrivals into the queues, ask each link's allocator for rates, extend
+// the schedules, serve the queues, and count allocation changes — the
+// paper's cost measure. In multi-link mode (one shard, several links)
+// each allocator sees only its own slot range, and every rebalEvery
+// ticks a rebalance pass may migrate sessions between links.
+func (sh *shard) tick(t bw.Tick) (arrivedBits, servedBits bw.Bits, changes int64) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	for i := 0; i < sh.n; i++ {
+		sh.arrived[i] = sh.pending[i]
+		sh.pending[i] = 0
+		sh.queues[i].Push(t, sh.arrived[i])
+		sh.queued[i] = sh.queues[i].Bits()
+		arrivedBits += sh.arrived[i]
+	}
+	for l := 0; l < len(sh.allocs); l++ {
+		lo, hi := l*sh.lm, (l+1)*sh.lm
+		rates := sh.allocs[l].Rates(t, sh.arrived[lo:hi], sh.queued[lo:hi])
+		for i := 0; i < sh.lm && i < len(rates); i++ {
+			s := lo + i
+			r := rates[i]
+			if r < 0 {
+				r = 0
+			}
+			sh.scheds[s].Set(t, r)
+			servedBits += sh.queues[s].Serve(t, r)
+			if r != sh.lastRates[s] {
+				changes++
+				sh.lastRates[s] = r
+			}
+		}
+	}
+	if sh.g.rebalEvery > 0 && t > 0 && t%sh.g.rebalEvery == 0 && sh.g.router != nil {
+		sh.rebalance()
+	}
+	return arrivedBits, servedBits, changes
+}

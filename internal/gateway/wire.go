@@ -1,0 +1,275 @@
+package gateway
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"time"
+
+	"dynbw/internal/obs"
+)
+
+// Error classes for the gateway_errors_total counter: how a connection
+// handler ended other than by a clean CLOSE.
+const (
+	errClassEOF      = "eof"      // client hung up without CLOSE
+	errClassTimeout  = "timeout"  // idle/wedged client hit IdleTimeout
+	errClassProtocol = "protocol" // malformed or out-of-order message
+	errClassIO       = "io"       // any other read/write failure
+)
+
+// connState is one connection's session-ownership state: the stripe it
+// was assigned at accept time (where metric updates land and where the
+// OPEN slot probe starts) and the set of sessions it has opened — a
+// connection may multiplex any number of them.
+type connState struct {
+	stripe int
+	owned  map[int]struct{}
+}
+
+// logSession picks a representative session ID for diagnostics: the
+// session when the connection owns exactly one (the common Client
+// case), -1 otherwise.
+func (cs *connState) logSession() int {
+	if len(cs.owned) == 1 {
+		for id := range cs.owned {
+			return id
+		}
+	}
+	return -1
+}
+
+// acceptLoop accepts client connections, backing off exponentially on
+// persistent Accept errors (up to maxAcceptBackoff) instead of busy
+// spinning — under file-descriptor pressure a tight retry loop would
+// starve the very handlers whose exits free descriptors. Each accepted
+// connection is assigned a shard stripe round-robin.
+func (g *Gateway) acceptLoop() {
+	defer g.wg.Done()
+	var backoff time.Duration
+	for {
+		conn, err := g.ln.Accept()
+		if err != nil {
+			select {
+			case <-g.acceptStop:
+				return
+			default:
+			}
+			g.m.acceptErrors.Inc()
+			g.log.Log(slog.LevelWarn, "accept", "gateway: accept failed", "err", err, "backoff", backoff)
+			if backoff == 0 {
+				backoff = time.Millisecond
+			} else if backoff *= 2; backoff > maxAcceptBackoff {
+				backoff = maxAcceptBackoff
+			}
+			select {
+			case <-g.acceptStop:
+				return
+			case <-time.After(backoff):
+			}
+			continue
+		}
+		backoff = 0
+		stripe := int(g.nextConn.Add(1)-1) % len(g.shards)
+		sh := g.shards[stripe]
+		g.m.accepts.Inc()
+		g.m.conns.Add(1)
+		sh.mu.Lock()
+		sh.conns[conn] = struct{}{}
+		sh.mu.Unlock()
+		g.wg.Add(1)
+		go g.handle(conn, stripe)
+	}
+}
+
+// handle serves one client connection: a deadline-bounded loop of
+// handleMessage calls. On exit every session the connection still owns
+// is released.
+func (g *Gateway) handle(conn net.Conn, stripe int) {
+	defer g.wg.Done()
+	defer conn.Close()
+	cs := &connState{stripe: stripe, owned: make(map[int]struct{})}
+	home := g.shards[stripe]
+	defer func() {
+		for id := range cs.owned {
+			g.releaseSession(id)
+		}
+		home.mu.Lock()
+		delete(home.conns, conn)
+		home.mu.Unlock()
+		g.m.conns.Add(-1)
+	}()
+	br := bufio.NewReaderSize(conn, 512)
+	for {
+		if g.idleTimeout > 0 {
+			// One deadline per message covers both the read of the next
+			// request and the write of its reply.
+			if err := conn.SetDeadline(time.Now().Add(g.idleTimeout)); err != nil {
+				return
+			}
+		}
+		if err := g.handleMessage(br, conn, cs); err != nil {
+			g.observeDisconnect(conn, err, cs)
+			return
+		}
+	}
+}
+
+// observeDisconnect classifies why a connection handler is exiting and
+// routes it through the error counters, the rate-limited log, and (for
+// idle disconnects) the event ring. A bare EOF is a client hanging up
+// without CLOSE — counted, but not log-worthy.
+func (g *Gateway) observeDisconnect(conn net.Conn, err error, cs *connState) {
+	var nerr net.Error
+	switch {
+	case errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF):
+		g.m.errors[errClassEOF].Inc()
+	case errors.As(err, &nerr) && nerr.Timeout():
+		g.m.errors[errClassTimeout].Inc()
+		g.emitAt(cs.stripe, obs.Event{Type: obs.EventIdleDisconnect, Session: cs.logSession()})
+		g.log.Log(slog.LevelWarn, "idle", "gateway: disconnecting idle client",
+			"remote", conn.RemoteAddr().String(), "sessions", len(cs.owned))
+	case errors.Is(err, errProtocol):
+		g.m.errors[errClassProtocol].Inc()
+		g.log.Log(slog.LevelWarn, "protocol", "gateway: protocol violation",
+			"remote", conn.RemoteAddr().String(), "sessions", len(cs.owned), "err", err)
+	default:
+		g.m.errors[errClassIO].Inc()
+		g.log.Log(slog.LevelWarn, "io", "gateway: connection error",
+			"remote", conn.RemoteAddr().String(), "sessions", len(cs.owned), "err", err)
+	}
+}
+
+// openSession claims a slot and returns the session ID handed to the
+// client. Single-link mode probes the shards round-robin starting at
+// the connection's home stripe (first-fit within each shard, so the
+// single-shard gateway scans exactly as before); multi-link mode asks
+// the router for a link and mints a fresh external ID.
+func (g *Gateway) openSession(start int) (int, error) {
+	if g.router != nil {
+		id, err := g.shards[0].openRouted()
+		if err != nil {
+			return 0, err
+		}
+		g.m.sessions.Add(1)
+		return id, nil
+	}
+	for p := 0; p < len(g.shards); p++ {
+		if id, ok := g.shards[(start+p)%len(g.shards)].open(); ok {
+			g.m.sessions.Add(1)
+			return id, nil
+		}
+	}
+	return 0, ErrSessionLimit
+}
+
+// releaseSession frees the slot behind a validated session ID.
+func (g *Gateway) releaseSession(id int) {
+	g.shardOf(id).release(id)
+	g.m.sessions.Add(-1)
+}
+
+// handleMessage reads exactly one message from r, applies it, and writes
+// any reply to w. cs tracks the sessions owned by this connection;
+// handleMessage updates it on OPEN and CLOSE. A non-nil error (read
+// failure or protocol violation) means the connection must be dropped.
+// The function is the entire wire-facing surface of the gateway and is
+// fuzzed by FuzzHandleMessage.
+func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
+	var typ [1]byte
+	if _, err := io.ReadFull(r, typ[:]); err != nil {
+		return err
+	}
+	g.m.message(typ[0]).Inc(cs.stripe)
+	if g.m.exchange != nil {
+		start := time.Now()
+		defer func() { g.m.exchange.Observe(cs.stripe, int64(time.Since(start))) }()
+	}
+	switch typ[0] {
+	case typeOpen:
+		id, err := g.openSession(cs.stripe)
+		if err != nil {
+			// Slot exhaustion is an expected steady-state condition under
+			// load, not a protocol violation: tell the client and keep the
+			// connection so it can retry after backoff.
+			g.m.openFails.Inc()
+			g.emitAt(cs.stripe, obs.Event{Type: obs.EventOpenFail, Session: -1})
+			if _, werr := w.Write([]byte{typeOpenFail}); werr != nil {
+				return werr
+			}
+			return nil
+		}
+		cs.owned[id] = struct{}{}
+		g.emitAt(g.shardOf(id).idx, obs.Event{Type: obs.EventSessionOpen, Session: id})
+		var reply [5]byte
+		reply[0] = typeOpened
+		binary.BigEndian.PutUint32(reply[1:], uint32(id))
+		if _, err := w.Write(reply[:]); err != nil {
+			return err
+		}
+	case typeData:
+		var body [12]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return err
+		}
+		id := int(binary.BigEndian.Uint32(body[0:]))
+		bits := int64(binary.BigEndian.Uint64(body[4:]))
+		if _, ok := cs.owned[id]; !ok || bits < 0 {
+			return fmt.Errorf("%w: DATA session=%d bits=%d (owns %d sessions)", errProtocol, id, bits, len(cs.owned))
+		}
+		sh := g.shardOf(id)
+		sh.mu.Lock()
+		sh.pending[sh.slot(id)] += bits
+		sh.mu.Unlock()
+	case typeStats:
+		var body [4]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return err
+		}
+		id := int(binary.BigEndian.Uint32(body[:]))
+		if _, ok := cs.owned[id]; !ok {
+			return fmt.Errorf("%w: STATS session=%d (owns %d sessions)", errProtocol, id, len(cs.owned))
+		}
+		sh := g.shardOf(id)
+		sh.mu.Lock()
+		slot := sh.slot(id)
+		served := sh.queues[slot].Served()
+		queued := sh.queues[slot].Bits()
+		maxDelay := sh.queues[slot].MaxDelay()
+		changes := sh.scheds[slot].Changes()
+		sh.mu.Unlock()
+		var reply [statsReplyLen]byte
+		reply[0] = typeStatsR
+		binary.BigEndian.PutUint64(reply[1:], uint64(served))
+		binary.BigEndian.PutUint64(reply[9:], uint64(queued))
+		binary.BigEndian.PutUint64(reply[17:], uint64(maxDelay))
+		binary.BigEndian.PutUint64(reply[25:], uint64(changes))
+		if _, err := w.Write(reply[:]); err != nil {
+			return err
+		}
+	case typeClose:
+		var body [4]byte
+		if _, err := io.ReadFull(r, body[:]); err != nil {
+			return err
+		}
+		id := int(binary.BigEndian.Uint32(body[:]))
+		if _, ok := cs.owned[id]; !ok {
+			return fmt.Errorf("%w: CLOSE session=%d (owns %d sessions)", errProtocol, id, len(cs.owned))
+		}
+		// Release before replying: a client that has read CLOSED may dial
+		// or OPEN again immediately and must find the slot free.
+		g.releaseSession(id)
+		delete(cs.owned, id)
+		g.emitAt(g.shardOf(id).idx, obs.Event{Type: obs.EventSessionClose, Session: id})
+		if _, err := w.Write([]byte{typeClosed}); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("%w: unknown message type %d", errProtocol, typ[0])
+	}
+	return nil
+}

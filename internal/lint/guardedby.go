@@ -43,7 +43,10 @@ func (*GuardedBy) Doc() string {
 }
 
 var (
-	guardedRe = regexp.MustCompile(`guarded by ([A-Za-z_]\w*)`)
+	// guardedRe accepts a bare mutex name ("guarded by mu") or a
+	// struct-qualified one ("guarded by shard.mu"); the qualifier, when
+	// present, must name the owning struct type.
+	guardedRe = regexp.MustCompile(`guarded by ((?:[A-Za-z_]\w*\.)?[A-Za-z_]\w*)`)
 	// holdsRe matches declared lock preconditions in function docs.
 	holdsRe = regexp.MustCompile(`(?i)(?:must hold|holds?)\s+(?:[A-Za-z_]\w*\.)*([A-Za-z_]\w*)|bwlint:holds\s+([A-Za-z_]\w*)`)
 )
@@ -87,6 +90,17 @@ func (c *GuardedBy) runPackage(pkg *Package, report Reporter) {
 				mu := fieldGuardAnnotation(fld)
 				if mu == "" {
 					continue
+				}
+				// A struct-qualified annotation ("guarded by shard.mu")
+				// must name the owning struct; the mutex lookup then uses
+				// the bare field name.
+				if dot := strings.IndexByte(mu, '.'); dot >= 0 {
+					if qual := mu[:dot]; qual != ts.Name.Name {
+						report(fld.Pos(), "field %s.%s is annotated guarded by %q, but the owning struct is %s",
+							ts.Name.Name, fieldNames(fld), mu, ts.Name.Name)
+						continue
+					}
+					mu = mu[dot+1:]
 				}
 				if !mutexes[mu] {
 					report(fld.Pos(), "field %s.%s is annotated guarded by %q, but %s has no sync.Mutex/RWMutex field of that name",

@@ -1,0 +1,49 @@
+package guarded
+
+import "sync"
+
+// shardT mirrors the gateway's shard shape: a struct-qualified
+// annotation ("guarded by shardT.mu") names the owning struct
+// explicitly, which reads better when several lock domains coexist.
+type shardT struct {
+	mu    sync.Mutex
+	count int   // guarded by shardT.mu
+	slots []int // guarded by shardT.mu
+	wrong int   // guarded by otherT.mu; want "the owning struct is shardT"
+}
+
+// Fill locks its own shard before touching the table.
+func (s *shardT) Fill(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.count++
+	s.slots = append(s.slots, v)
+}
+
+// Steal reaches into another shard while holding only its own lock —
+// the cross-shard access the annotation exists to catch.
+func (s *shardT) Steal(other *shardT) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return other.count // want "neither locks other.mu nor declares it held"
+}
+
+// merge locks each shard as it walks, so every guarded access is under
+// the matching shard's mutex.
+func merge(shards []*shardT) int {
+	total := 0
+	for _, sh := range shards {
+		sh.mu.Lock()
+		total += sh.count
+		sh.mu.Unlock()
+	}
+	return total
+}
+
+// newShardT seeds the table before the value is shared — the
+// constructor exemption applies to qualified annotations too.
+func newShardT(n int) *shardT {
+	s := &shardT{}
+	s.slots = make([]int, n)
+	return s
+}

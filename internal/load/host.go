@@ -36,6 +36,10 @@ type HostConfig struct {
 	Policy string
 	// Slots is the session slot count k.
 	Slots int
+	// Shards, when > 1, shards the hosted gateway's slot table: Slots
+	// must divide evenly and each shard gets its own Policy allocator
+	// over Slots/Shards slots with BO/Shards bandwidth.
+	Shards int
 	// BO is the offline bandwidth pool (default 16*Slots); DO the
 	// offline delay bound in ticks (default 8).
 	BO bw.Rate
@@ -86,25 +90,52 @@ func StartHost(cfg HostConfig) (*Host, error) {
 	case cfg.IdleTimeout < 0:
 		cfg.IdleTimeout = 0
 	}
-	alloc, err := NewPolicy(cfg.Policy, cfg.Slots, cfg.BO, cfg.DO)
-	if err != nil {
-		return nil, err
-	}
-	if o, ok := alloc.(obs.Observable); ok && cfg.Observer != nil {
-		o.SetObserver(cfg.Observer)
-	}
-	ticker := time.NewTicker(cfg.Tick)
-	gw, err := gateway.NewWithConfig(gateway.Config{
+	gwCfg := gateway.Config{
 		Addr:        "127.0.0.1:0",
 		Slots:       cfg.Slots,
-		Alloc:       alloc,
-		Ticks:       ticker.C,
 		IdleTimeout: cfg.IdleTimeout,
 		Observer:    cfg.Observer,
 		Metrics:     cfg.Registry,
 		Policy:      cfg.Policy,
 		Log:         cfg.Log,
-	})
+	}
+	if cfg.Shards > 1 {
+		if cfg.Slots%cfg.Shards != 0 {
+			return nil, fmt.Errorf("load: %d slots do not divide across %d shards", cfg.Slots, cfg.Shards)
+		}
+		gwCfg.Shards = cfg.Shards
+		gwCfg.ShardAllocs = make([]sim.MultiAllocator, cfg.Shards)
+		sr, _ := cfg.Observer.(*obs.ShardedRing)
+		for i := range gwCfg.ShardAllocs {
+			alloc, err := NewPolicy(cfg.Policy, cfg.Slots/cfg.Shards, cfg.BO/bw.Rate(cfg.Shards), cfg.DO)
+			if err != nil {
+				return nil, err
+			}
+			if o, ok := alloc.(obs.Observable); ok && cfg.Observer != nil {
+				// Each shard's allocator runs on that shard's tick worker;
+				// give it the shard's ring stripe so emission never crosses
+				// lock domains.
+				if sr != nil {
+					o.SetObserver(sr.Stripe(i))
+				} else {
+					o.SetObserver(cfg.Observer)
+				}
+			}
+			gwCfg.ShardAllocs[i] = alloc
+		}
+	} else {
+		alloc, err := NewPolicy(cfg.Policy, cfg.Slots, cfg.BO, cfg.DO)
+		if err != nil {
+			return nil, err
+		}
+		if o, ok := alloc.(obs.Observable); ok && cfg.Observer != nil {
+			o.SetObserver(cfg.Observer)
+		}
+		gwCfg.Alloc = alloc
+	}
+	ticker := time.NewTicker(cfg.Tick)
+	gwCfg.Ticks = ticker.C
+	gw, err := gateway.NewWithConfig(gwCfg)
 	if err != nil {
 		ticker.Stop()
 		return nil, err

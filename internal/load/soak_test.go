@@ -1,0 +1,96 @@
+package load
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dynbw/internal/obs"
+)
+
+func TestSoakHoldsSessionsOnShardedHost(t *testing.T) {
+	slots, perConn := 1024, 64
+	hold := 400 * time.Millisecond
+	if testing.Short() {
+		slots, perConn = 128, 16
+		hold = 150 * time.Millisecond
+	}
+	reg := obs.NewRegistry()
+	h, err := StartHost(HostConfig{
+		Policy:   "phased",
+		Slots:    slots,
+		Shards:   4,
+		Tick:     time.Millisecond,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	res, err := Soak(SoakConfig{
+		Addr:        h.Addr(),
+		Sessions:    slots,
+		PerConn:     perConn,
+		Hold:        hold,
+		SampleEvery: 8,
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != slots {
+		t.Fatalf("held %d of %d sessions", res.Sessions, slots)
+	}
+	if want := (slots + perConn - 1) / perConn; res.Conns != want {
+		t.Errorf("used %d conns, want %d", res.Conns, want)
+	}
+	if res.OpenFails != 0 {
+		t.Errorf("%d open fails against an exactly-sized slot table", res.OpenFails)
+	}
+	if res.Open.Count != int64(slots) || res.Open.P99 <= 0 {
+		t.Errorf("open latency summary %+v", res.Open)
+	}
+	if res.StatsPoll.Count == 0 {
+		t.Error("no stats polls recorded during the plateau")
+	}
+	if res.MidScrape == "" {
+		t.Fatal("no mid-plateau scrape captured")
+	}
+	// The mid-plateau scrape must show every session open, spread over
+	// the shard gauges, with the cost-measure counter live.
+	for _, want := range []string{
+		"dynbw_gateway_active_sessions",
+		`dynbw_gateway_shard_sessions{shard="3"}`,
+		"dynbw_gateway_allocation_changes_total",
+	} {
+		if !strings.Contains(res.MidScrape, want) {
+			t.Errorf("mid-plateau scrape missing %q", want)
+		}
+	}
+
+	// After the soak's orderly teardown the whole table must be free
+	// again: a fresh soak over the same slots opens without OPENFAIL.
+	again, err := Soak(SoakConfig{Addr: h.Addr(), Sessions: slots, PerConn: perConn, Hold: 50 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.OpenFails != 0 || again.Sessions != slots {
+		t.Errorf("slots not recycled: %d fails, %d held", again.OpenFails, again.Sessions)
+	}
+}
+
+func TestSoakValidation(t *testing.T) {
+	if _, err := Soak(SoakConfig{Sessions: 0}); err == nil {
+		t.Error("sessions=0 accepted")
+	}
+	if _, err := Soak(SoakConfig{Addr: "127.0.0.1:1", Sessions: 4, DialTimeout: 200 * time.Millisecond}); err == nil {
+		t.Error("dead gateway accepted")
+	}
+}
+
+func TestStartHostShardValidation(t *testing.T) {
+	if _, err := StartHost(HostConfig{Policy: "phased", Slots: 10, Shards: 4}); err == nil {
+		t.Error("10 slots over 4 shards accepted")
+	}
+}

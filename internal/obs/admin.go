@@ -15,8 +15,10 @@ import (
 type Admin struct {
 	// Registry backs /metrics (Prometheus text exposition format).
 	Registry *Registry
-	// Ring backs /events (JSONL dump, oldest first).
-	Ring *Ring
+	// Ring backs /events (JSONL dump: a ring_meta header with
+	// total/retained/dropped counts, then the events oldest first). Any
+	// EventSource works — a *Ring, or a *ShardedRing merged at dump time.
+	Ring EventSource
 	// Sessions backs /sessions: a JSON-marshalable snapshot (typically
 	// []gateway.SessionInfo, kept as a closure so obs does not import
 	// the packages it observes).
@@ -57,7 +59,9 @@ func (a *Admin) Handler() http.Handler {
 	})
 	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/x-ndjson")
-		a.Ring.WriteJSONL(w)
+		if a.Ring != nil {
+			a.Ring.WriteJSONL(w)
+		}
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

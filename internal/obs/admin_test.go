@@ -104,11 +104,14 @@ func TestAdminEvents(t *testing.T) {
 		t.Errorf("Content-Type = %q", ct)
 	}
 	lines := strings.Split(strings.TrimSpace(body), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d lines, want 2:\n%s", len(lines), body)
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (meta + 2 events):\n%s", len(lines), body)
 	}
-	if !strings.Contains(lines[1], `"rule":"phase-raise"`) {
-		t.Errorf("line 1 = %q", lines[1])
+	if !strings.Contains(lines[0], `"ring_meta":true`) || !strings.Contains(lines[0], `"dropped":0`) {
+		t.Errorf("meta line = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], `"rule":"phase-raise"`) {
+		t.Errorf("line 2 = %q", lines[2])
 	}
 	// An Admin with a nil ring still serves an empty, well-formed dump.
 	empty := httptest.NewServer((&Admin{}).Handler())

@@ -121,6 +121,26 @@ type Observable interface {
 	SetObserver(Observer)
 }
 
+// EventSource is the read side of an event buffer — everything the
+// admin /events endpoint, a shutdown flush, and metric export need.
+// *Ring and *ShardedRing implement it; the nil pointers of both are
+// valid no-ops.
+type EventSource interface {
+	Observer
+	// Total is how many events were ever appended; Dropped how many
+	// were overwritten before any dump retained them.
+	Total() uint64
+	Dropped() uint64
+	// Snapshot returns the retained events in Seq order.
+	Snapshot() []Event
+	// WriteJSONL dumps a ring_meta header line (total/retained/dropped)
+	// followed by the retained events, one JSON object per line.
+	WriteJSONL(io.Writer) error
+	// Instrument exports dynbw_events_total and
+	// dynbw_events_dropped_total on the registry.
+	Instrument(*Registry)
+}
+
 // Ring is a fixed-size ring buffer of events — the standard Observer.
 // When full, the oldest events are overwritten; Seq stays globally
 // monotone so a dump shows how many were dropped. The nil *Ring is a
@@ -174,6 +194,19 @@ func (r *Ring) Total() uint64 {
 	return r.total
 }
 
+// Dropped returns how many events were overwritten before any dump
+// could retain them — zero until the ring wraps, then the overwrite
+// count. A nonzero value under load is the signal that the ring (or
+// the scrape cadence) is undersized.
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total - uint64(len(r.buf))
+}
+
 // Snapshot returns the retained events, oldest first.
 func (r *Ring) Snapshot() []Event {
 	if r == nil {
@@ -190,14 +223,46 @@ func (r *Ring) Snapshot() []Event {
 	return append(out, r.buf[:start]...)
 }
 
-// WriteJSONL dumps the retained events as one JSON object per line,
-// oldest first.
+// WriteJSONL dumps a ring_meta header line followed by the retained
+// events, oldest first, one JSON object per line.
 func (r *Ring) WriteJSONL(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	return writeEventsJSONL(w, r.Total(), r.Dropped(), r.Snapshot())
+}
+
+// Instrument exports the ring's totals on reg: dynbw_events_total and
+// dynbw_events_dropped_total, read at scrape time.
+func (r *Ring) Instrument(reg *Registry) {
+	if r == nil {
+		return
+	}
+	reg.CounterFunc("dynbw_events_total", "Allocation events appended to the event ring.",
+		func() int64 { return int64(r.Total()) })
+	reg.CounterFunc("dynbw_events_dropped_total", "Allocation events overwritten (lost) before being dumped.",
+		func() int64 { return int64(r.Dropped()) })
+}
+
+// ringMeta is the header line of every JSONL events dump: how many
+// events were ever appended, how many the dump retains, and how many
+// were dropped (overwritten) in between. A reader distinguishing a
+// quiet system from a saturated ring keys off dropped.
+type ringMeta struct {
+	RingMeta bool   `json:"ring_meta"`
+	Total    uint64 `json:"total"`
+	Retained int    `json:"retained"`
+	Dropped  uint64 `json:"dropped"`
+}
+
+// writeEventsJSONL renders the shared JSONL dump format of Ring and
+// ShardedRing: the ring_meta header, then the events.
+func writeEventsJSONL(w io.Writer, total, dropped uint64, events []Event) error {
 	enc := json.NewEncoder(w)
-	for _, e := range r.Snapshot() {
+	if err := enc.Encode(ringMeta{RingMeta: true, Total: total, Retained: len(events), Dropped: dropped}); err != nil {
+		return err
+	}
+	for _, e := range events {
 		if err := enc.Encode(e); err != nil {
 			return err
 		}

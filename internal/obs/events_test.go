@@ -76,9 +76,22 @@ func TestRingWriteJSONL(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
-	if len(lines) != 2 {
-		t.Fatalf("got %d JSONL lines, want 2:\n%s", len(lines), b.String())
+	if len(lines) != 3 {
+		t.Fatalf("got %d JSONL lines, want 3 (meta + 2 events):\n%s", len(lines), b.String())
 	}
+	var meta struct {
+		RingMeta bool   `json:"ring_meta"`
+		Total    uint64 `json:"total"`
+		Retained int    `json:"retained"`
+		Dropped  uint64 `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatalf("meta line not JSON: %v", err)
+	}
+	if !meta.RingMeta || meta.Total != 2 || meta.Retained != 2 || meta.Dropped != 0 {
+		t.Errorf("meta line = %+v", meta)
+	}
+	lines = lines[1:]
 	var e struct {
 		Seq     uint64 `json:"seq"`
 		Type    string `json:"type"`

@@ -128,8 +128,10 @@ type series struct {
 	labels string // rendered {k="v",...} or ""
 	c      *Counter
 	g      *Gauge
+	cf     func() int64
 	gf     func() int64
 	h      *LiveHistogram
+	hf     func() metrics.Histogram
 }
 
 // family is one named metric with HELP/TYPE and its series.
@@ -219,6 +221,19 @@ func (r *Registry) GaugeFunc(name, help string, fn func() int64, labels ...Label
 	f.sel(labels, func() *series { return &series{gf: fn} })
 }
 
+// CounterFunc registers a counter series whose value is read from fn at
+// scrape time — for counts aggregated elsewhere (lock-striped shard
+// counters merged on demand, event-ring totals).
+func (r *Registry) CounterFunc(name, help string, fn func() int64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, "counter")
+	f.sel(labels, func() *series { return &series{cf: fn} })
+}
+
 // Histogram registers (or returns) a live histogram series rendered
 // with internal/metrics.Histogram's log-spaced buckets.
 func (r *Registry) Histogram(name, help string, labels ...Label) *LiveHistogram {
@@ -229,6 +244,19 @@ func (r *Registry) Histogram(name, help string, labels ...Label) *LiveHistogram 
 	defer r.mu.Unlock()
 	f := r.get(name, help, "histogram")
 	return f.sel(labels, func() *series { return &series{h: &LiveHistogram{}} }).h
+}
+
+// HistogramFunc registers a histogram series whose snapshot is produced
+// by fn at scrape time — for histograms striped or merged elsewhere
+// (StripedHistogram.Snapshot).
+func (r *Registry) HistogramFunc(name, help string, fn func() metrics.Histogram, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, "histogram")
+	f.sel(labels, func() *series { return &series{hf: fn} })
 }
 
 // WritePrometheus renders every family in the text exposition format
@@ -266,10 +294,16 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.c.Value())
 			case s.g != nil:
 				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.g.Value())
-			case s.gf != nil:
-				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, s.gf())
+			case s.cf != nil, s.gf != nil:
+				fn := s.cf
+				if fn == nil {
+					fn = s.gf
+				}
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, s.labels, fn())
 			case s.h != nil:
-				writeHistogram(&b, f.name, s.labels, s.h)
+				writeHistogram(&b, f.name, s.labels, s.h.Snapshot())
+			case s.hf != nil:
+				writeHistogram(&b, f.name, s.labels, s.hf())
 			}
 		}
 		if _, err := io.WriteString(w, b.String()); err != nil {
@@ -281,8 +315,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 
 // writeHistogram renders one histogram series: cumulative buckets over
 // the snapshot's non-empty native buckets, then +Inf, sum and count.
-func writeHistogram(b *strings.Builder, name, labels string, l *LiveHistogram) {
-	snap := l.Snapshot()
+func writeHistogram(b *strings.Builder, name, labels string, snap metrics.Histogram) {
 	var cum uint64
 	for _, bk := range snap.Buckets() {
 		cum += bk.Count

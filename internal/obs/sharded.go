@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ShardedRing splits the event ring into independently locked stripes
+// so emitters on different gateway shards never contend on one ring
+// mutex. Sequence numbers stay globally monotone through one atomic;
+// Snapshot collects every stripe and re-sorts by Seq, so a dump reads
+// exactly like a single Ring's. Each stripe keeps its events in
+// insertion order and overwrites its own oldest entry when full,
+// counting the overwrite as a drop.
+//
+// The nil *ShardedRing is a valid no-op, like *Ring.
+type ShardedRing struct {
+	seq     atomic.Uint64
+	stripes []ringStripe
+}
+
+// ringStripe is one independently locked slice of the ring. The padding
+// keeps adjacent stripes' mutexes off a shared cache line.
+type ringStripe struct {
+	mu      sync.Mutex
+	buf     []Event // guarded by mu; insertion-ordered, wraps at cap
+	next    int     // guarded by mu; overwrite cursor once the buffer is full
+	dropped uint64  // guarded by mu; events overwritten (lost to any future dump)
+	_       [64]byte
+}
+
+// NewShardedRing returns a ring retaining about n events in total,
+// split evenly across the given number of stripes (both minimums 1; a
+// non-positive n uses DefaultRingSize). The stripes are unshared until
+// the ring is returned (bwlint:holds mu).
+func NewShardedRing(n, stripes int) *ShardedRing {
+	if n <= 0 {
+		n = DefaultRingSize
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	per := (n + stripes - 1) / stripes
+	r := &ShardedRing{stripes: make([]ringStripe, stripes)}
+	for i := range r.stripes {
+		r.stripes[i].buf = make([]Event, 0, per)
+	}
+	return r
+}
+
+// Event implements Observer, routing by the event's session (session-
+// tagged events from different sessions spread across stripes; untagged
+// events land on stripe 0). Emitters that know their shard should use a
+// Stripe handle instead, which skips the modulo and guarantees the
+// stripe choice matches the shard's lock domain.
+func (r *ShardedRing) Event(e Event) {
+	if r == nil {
+		return
+	}
+	idx := 0
+	if e.Session > 0 {
+		idx = e.Session
+	}
+	r.eventAt(idx, e)
+}
+
+// Stripe returns an Observer that appends onto stripe i (reduced modulo
+// the stripe count) — the per-shard emission handle.
+func (r *ShardedRing) Stripe(i int) Observer {
+	if r == nil {
+		return nil
+	}
+	return stripeHandle{r: r, idx: i}
+}
+
+// stripeHandle pins an emitter to one stripe.
+type stripeHandle struct {
+	r   *ShardedRing
+	idx int
+}
+
+// Event implements Observer.
+func (h stripeHandle) Event(e Event) { h.r.eventAt(h.idx, e) }
+
+// eventAt stamps the global sequence number and appends onto one
+// stripe. Seq is claimed before the stripe lock, so under concurrency a
+// stripe's insertion order can momentarily disagree with Seq order;
+// Snapshot re-sorts, so dumps always read in Seq order.
+func (r *ShardedRing) eventAt(idx int, e Event) {
+	s := &r.stripes[uint(idx)%uint(len(r.stripes))]
+	e.Seq = r.seq.Add(1) - 1
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	s.mu.Lock()
+	if len(s.buf) < cap(s.buf) {
+		s.buf = append(s.buf, e)
+	} else {
+		s.buf[s.next] = e
+		s.next = (s.next + 1) % cap(s.buf)
+		s.dropped++
+	}
+	s.mu.Unlock()
+}
+
+// Total returns how many events have ever been appended.
+func (r *ShardedRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
+// Dropped returns how many events were overwritten before any dump
+// could retain them, summed across stripes.
+func (r *ShardedRing) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	var total uint64
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		total += s.dropped
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Snapshot merges the retained events of every stripe, ordered by Seq.
+func (r *ShardedRing) Snapshot() []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	for i := range r.stripes {
+		s := &r.stripes[i]
+		s.mu.Lock()
+		out = append(out, s.buf...)
+		s.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// WriteJSONL dumps a ring_meta header line followed by the retained
+// events, Seq order, one JSON object per line.
+func (r *ShardedRing) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	return writeEventsJSONL(w, r.Total(), r.Dropped(), r.Snapshot())
+}
+
+// Instrument exports the ring's totals on reg: dynbw_events_total and
+// dynbw_events_dropped_total, read at scrape time.
+func (r *ShardedRing) Instrument(reg *Registry) {
+	if r == nil {
+		return
+	}
+	reg.CounterFunc("dynbw_events_total", "Allocation events appended to the event ring.",
+		func() int64 { return int64(r.Total()) })
+	reg.CounterFunc("dynbw_events_dropped_total", "Allocation events overwritten (lost) before being dumped.",
+		func() int64 { return int64(r.Dropped()) })
+}
