@@ -18,6 +18,7 @@ import (
 	"dynbw/internal/core"
 	"dynbw/internal/gateway"
 	"dynbw/internal/harness"
+	"dynbw/internal/obs"
 	"dynbw/internal/offline"
 	"dynbw/internal/sim"
 	"dynbw/internal/traffic"
@@ -212,10 +213,18 @@ func BenchmarkGatewayMessages(b *testing.B) {
 
 func benchGatewayMessages(b *testing.B, shards int) {
 	const k, conns = 256, 8
+	// The benchmark measures the instrumented wire path — metrics
+	// registry attached and span sampling at the default 1-in-1024 rate —
+	// because that is how the gateway actually runs; the unsampled
+	// per-message overhead contract is asserted by
+	// gateway.TestHandleMessageUnsampledZeroAlloc.
 	cfg := gateway.Config{
-		Addr:  "127.0.0.1:0",
-		Slots: k,
-		Ticks: make(chan time.Time), // never fires: message path only
+		Addr:    "127.0.0.1:0",
+		Slots:   k,
+		Ticks:   make(chan time.Time), // never fires: message path only
+		Metrics: obs.NewRegistry(),
+		Spans:   obs.NewSpanRing(obs.DefaultSpanRingSize, gateway.StageNames()),
+		Policy:  "phased",
 	}
 	if shards > 1 {
 		cfg.Shards = shards

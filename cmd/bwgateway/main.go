@@ -7,11 +7,21 @@
 //
 // With -admin the gateway exposes a live observability endpoint:
 // Prometheus /metrics (including the allocation-changes counter, the
-// paper's cost measure), /healthz, a /sessions JSON snapshot, the
-// allocation-event ring as JSONL on /events, and net/http/pprof.
+// paper's cost measure, and the dynbw_go_* runtime-health series),
+// /healthz, a /sessions JSON snapshot, the allocation-event ring as
+// JSONL on /events, sampled wire-path spans on /spans, the flight
+// recorder's snapshot window on /snapshots, and net/http/pprof.
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops, live
-// sessions get -grace to drain, and the event ring is flushed to
-// stderr as JSONL.
+// sessions get -grace to drain, the event ring and recorder window are
+// flushed to stderr as JSONL, and the summary includes per-stage
+// p50/p99 wire latencies and per-shard tick p99s.
+//
+// Every message's wire-path stages (read/dispatch/apply/write) feed
+// the dynbw_gateway_stage_ns histograms; 1 in -sample messages also
+// records a full span into a ring of -spans entries. The flight
+// recorder snapshots the whole registry every -record interval and
+// freezes the window when OPENFAILs, dropped events, or tick-budget
+// overruns start growing.
 //
 // With -links > 1 the slot pool is partitioned across that many backend
 // links, each running its own allocator over an equal share of the
@@ -84,6 +94,9 @@ func run(args []string, out, errw io.Writer) error {
 		reserve   = fs.Int64("reserve", 1, "DAR trunk reservation in slot units")
 		rebalance = fs.Int64("rebalance", 0, "migrate sessions between links every this many ticks (0: never)")
 		shards    = fs.Int("shards", 1, "lock-stripe the slot table across this many shards (single-link only)")
+		spans     = fs.Int("spans", obs.DefaultSpanRingSize, "wire-path span ring capacity (0: span sampling disabled)")
+		sample    = fs.Int("sample", obs.DefaultSampleEvery, "sample one wire-path span per this many messages per stripe")
+		record    = fs.Duration("record", 500*time.Millisecond, "flight-recorder snapshot interval (0: recorder disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,6 +109,7 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	reg := obs.NewRegistry()
+	obs.RegisterGoRuntime(reg)
 	var ring obs.EventSource
 	var shardRing *obs.ShardedRing
 	if *shards > 1 {
@@ -105,14 +119,22 @@ func run(args []string, out, errw io.Writer) error {
 		ring = obs.NewRing(*events)
 	}
 	ring.Instrument(reg)
+	var spanRing *obs.SpanRing
+	if *spans > 0 {
+		spanRing = obs.NewSpanRing(*spans, gateway.StageNames())
+		spanRing.Instrument(reg)
+	}
 	cfg := gateway.Config{
-		Addr:     *addr,
-		Slots:    *k,
-		Ticks:    nil, // set below
-		Observer: ring,
-		Metrics:  reg,
-		Policy:   *policy,
-		Log:      slog.New(slog.NewTextHandler(errw, nil)),
+		Addr:            *addr,
+		Slots:           *k,
+		Ticks:           nil, // set below
+		Observer:        ring,
+		Metrics:         reg,
+		Policy:          *policy,
+		Spans:           spanRing,
+		SpanSampleEvery: *sample,
+		TickBudget:      *tick,
+		Log:             slog.New(slog.NewTextHandler(errw, nil)),
 	}
 	if *links > 1 {
 		if *k%*links != 0 {
@@ -176,6 +198,19 @@ func run(args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var rec *obs.Recorder
+	if *record > 0 {
+		rec = obs.NewRecorder(obs.RecorderConfig{
+			Registry: reg,
+			Interval: *record,
+			Triggers: []obs.Trigger{
+				obs.GrowthTrigger("openfail-spike", "dynbw_gateway_open_fails_total", 1),
+				obs.GrowthTrigger("events-dropped", "dynbw_events_dropped_total", 1),
+				obs.GrowthTrigger("tick-overrun", "dynbw_gateway_tick_overruns_total", 1),
+			},
+		})
+		rec.Start()
+	}
 	switch {
 	case *links > 1:
 		fmt.Fprintf(out, "gateway %s: %d slots over %d links (route %s), policy %s, tick %v\n",
@@ -189,16 +224,18 @@ func run(args []string, out, errw io.Writer) error {
 
 	if *admin != "" {
 		adm, err := obs.StartAdmin(*admin, &obs.Admin{
-			Registry: reg,
-			Ring:     ring,
-			Sessions: func() any { return gw.Sessions() },
+			Registry:  reg,
+			Ring:      ring,
+			Sessions:  func() any { return gw.Sessions() },
+			Spans:     spanRing,
+			Snapshots: rec,
 		})
 		if err != nil {
 			gw.Close()
 			return err
 		}
 		defer adm.Close()
-		fmt.Fprintf(out, "admin http://%s: /metrics /healthz /sessions /events /debug/pprof\n", adm.Addr())
+		fmt.Fprintf(out, "admin http://%s: /metrics /healthz /sessions /events /spans /snapshots /debug/pprof\n", adm.Addr())
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -234,8 +271,14 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	stats := gw.Shutdown(*grace)
+	rec.Close()
 	if err := ring.WriteJSONL(errw); err != nil {
 		return fmt.Errorf("flush event ring: %w", err)
+	}
+	if rec != nil {
+		if err := rec.WriteJSONL(errw); err != nil {
+			return fmt.Errorf("flush flight recorder: %w", err)
+		}
 	}
 
 	fmt.Fprintf(out, "ticks:           %d\n", stats.Ticks)
@@ -245,7 +288,36 @@ func run(args []string, out, errw io.Writer) error {
 	fmt.Fprintf(out, "max delay:       %d ticks (2*D_O guarantee: %d, +arrival alignment)\n",
 		stats.MaxDelay, 2**do)
 	fmt.Fprintf(out, "events traced:   %d (%d dropped)\n", ring.Total(), ring.Dropped())
+	if spanRing != nil {
+		fmt.Fprintf(out, "spans sampled:   %d (%d dropped)\n", spanRing.Total(), spanRing.Dropped())
+	}
+	printProfile(out, gw.Profile())
 	return nil
+}
+
+// printProfile renders the gateway's latency profile for the shutdown
+// summary: per-stage wire-path p50/p99, whole-exchange p50/p99, and the
+// per-shard allocation-tick p99s.
+func printProfile(out io.Writer, p gateway.Profile) {
+	if p.Exchange.Count() > 0 {
+		fmt.Fprintf(out, "exchange p50/p99: %v / %v (%d messages)\n",
+			time.Duration(p.Exchange.Quantile(0.50)), time.Duration(p.Exchange.Quantile(0.99)), p.Exchange.Count())
+		for i, name := range p.StageNames {
+			h := p.Stages[i]
+			if h.Count() == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  stage %-8s p50/p99: %v / %v\n",
+				name, time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)))
+		}
+	}
+	for i, h := range p.ShardTicks {
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(out, "shard %d tick p50/p99: %v / %v (%d rounds)\n",
+			i, time.Duration(h.Quantile(0.50)), time.Duration(h.Quantile(0.99)), h.Count())
+	}
 }
 
 // streamClient opens a session and submits bursty traffic until the

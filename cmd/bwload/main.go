@@ -19,7 +19,10 @@
 // are opened over multiplexed connections (-perconn sessions each, so
 // the run fits inside ordinary fd limits), held through a -hold plateau
 // with sparse traffic, and scraped mid-plateau; the scrape and a summary
-// land in -out. -shards lock-stripes the self-hosted gateway.
+// land in -out. -shards lock-stripes the self-hosted gateway. With
+// -trace N every Nth request per connection is wrapped in a TRACE
+// envelope, forcing the gateway to record a client-tagged wire-path
+// span (visible on the admin /spans endpoint).
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 	"time"
 
 	"dynbw/internal/bw"
+	"dynbw/internal/gateway"
 	"dynbw/internal/load"
 	"dynbw/internal/obs"
 )
@@ -66,6 +70,7 @@ func run(args []string, out io.Writer) error {
 		perConn  = fs.Int("perconn", 256, "sessions per multiplexed connection in -soak mode")
 		hold     = fs.Duration("hold", 10*time.Second, "plateau duration in -soak mode")
 		shards   = fs.Int("shards", 0, "shard the self-hosted gateway's slot table (0/1: unsharded)")
+		trace    = fs.Int("trace", 0, "in -soak mode, TRACE-envelope every this many requests per connection so the gateway records client spans (0: off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +84,7 @@ func run(args []string, out io.Writer) error {
 			policy: strings.TrimSpace(names[0]), addr: *addr, sessions: *soak,
 			perConn: *perConn, hold: *hold, shards: *shards,
 			bo: *bo, do: *do, gwTick: *gwTick, admin: *admin, outDir: *outDir,
+			trace: *trace,
 		})
 	}
 	m, err := load.ParseMode(*mode)
@@ -206,6 +212,7 @@ type soakOpts struct {
 	gwTick   time.Duration
 	admin    string
 	outDir   string
+	trace    int
 }
 
 // runSoak is bwload's -soak mode: self-host (or attach to) a gateway,
@@ -221,6 +228,8 @@ func runSoak(out io.Writer, opts soakOpts) error {
 		ring = obs.NewRing(0)
 	}
 	ring.Instrument(reg)
+	spanRing := obs.NewSpanRing(0, gateway.StageNames())
+	spanRing.Instrument(reg)
 
 	target := opts.addr
 	var host *load.Host
@@ -235,6 +244,7 @@ func runSoak(out io.Writer, opts soakOpts) error {
 			Tick:     opts.gwTick,
 			Registry: reg,
 			Observer: ring,
+			Spans:    spanRing,
 			Log:      slog.New(slog.NewTextHandler(os.Stderr, nil)),
 		})
 		if err != nil {
@@ -254,6 +264,7 @@ func runSoak(out io.Writer, opts soakOpts) error {
 				}
 				return nil
 			},
+			Spans: spanRing,
 		})
 		if err != nil {
 			if host != nil {
@@ -262,15 +273,16 @@ func runSoak(out io.Writer, opts soakOpts) error {
 			return err
 		}
 		defer adm.Close()
-		fmt.Fprintf(out, "admin http://%s: /metrics /healthz /sessions /events /debug/pprof\n", adm.Addr())
+		fmt.Fprintf(out, "admin http://%s: /metrics /healthz /sessions /events /spans /debug/pprof\n", adm.Addr())
 	}
 
 	res, err := load.Soak(load.SoakConfig{
-		Addr:     target,
-		Sessions: opts.sessions,
-		PerConn:  opts.perConn,
-		Hold:     opts.hold,
-		Registry: reg,
+		Addr:       target,
+		Sessions:   opts.sessions,
+		PerConn:    opts.perConn,
+		Hold:       opts.hold,
+		Registry:   reg,
+		TraceEvery: opts.trace,
 	})
 	if host != nil {
 		defer host.Close()

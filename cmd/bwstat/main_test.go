@@ -1,0 +1,191 @@
+package main
+
+import (
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// promA and promB are two consecutive scrapes of a small gateway: 100
+// DATA messages and 200 ticks happen in between, and the read-stage
+// histogram gains 100 observations across two buckets.
+const promA = `# HELP dynbw_gateway_messages_total Wire messages handled, by type.
+# TYPE dynbw_gateway_messages_total counter
+dynbw_gateway_messages_total{type="data"} 1000
+dynbw_gateway_messages_total{type="open"} 10
+dynbw_gateway_active_sessions 10
+dynbw_gateway_ticks_total 1000
+dynbw_gateway_arrived_bits_total 5000
+dynbw_gateway_allocation_changes_total{policy="phased"} 40
+# TYPE dynbw_gateway_stage_ns histogram
+dynbw_gateway_stage_ns_bucket{stage="read",le="100"} 500
+dynbw_gateway_stage_ns_bucket{stage="read",le="200"} 900
+dynbw_gateway_stage_ns_bucket{stage="read",le="+Inf"} 1000
+dynbw_gateway_stage_ns_sum{stage="read"} 120000
+dynbw_gateway_stage_ns_count{stage="read"} 1000
+# TYPE dynbw_gateway_shard_tick_ns histogram
+dynbw_gateway_shard_tick_ns_bucket{shard="0",le="1000"} 900
+dynbw_gateway_shard_tick_ns_bucket{shard="0",le="+Inf"} 1000
+dynbw_gateway_shard_tick_ns_sum{shard="0"} 700000
+dynbw_gateway_shard_tick_ns_count{shard="0"} 1000
+`
+
+const promB = `dynbw_gateway_messages_total{type="data"} 1100
+dynbw_gateway_messages_total{type="open"} 10
+dynbw_gateway_active_sessions 12
+dynbw_gateway_ticks_total 1200
+dynbw_gateway_arrived_bits_total 6000
+dynbw_gateway_allocation_changes_total{policy="phased"} 60
+dynbw_gateway_stage_ns_bucket{stage="read",le="100"} 550
+dynbw_gateway_stage_ns_bucket{stage="read",le="200"} 990
+dynbw_gateway_stage_ns_bucket{stage="read",le="400"} 1090
+dynbw_gateway_stage_ns_bucket{stage="read",le="+Inf"} 1100
+dynbw_gateway_stage_ns_sum{stage="read"} 135000
+dynbw_gateway_stage_ns_count{stage="read"} 1100
+dynbw_gateway_shard_tick_ns_bucket{shard="0",le="1000"} 1080
+dynbw_gateway_shard_tick_ns_bucket{shard="0",le="+Inf"} 1200
+dynbw_gateway_shard_tick_ns_sum{shard="0"} 840000
+dynbw_gateway_shard_tick_ns_count{shard="0"} 1200
+`
+
+func TestParseProm(t *testing.T) {
+	s := parseProm(promA, time.Unix(0, 0))
+	if got := s.scalars[`dynbw_gateway_messages_total{type="data"}`]; got != 1000 {
+		t.Errorf("data messages = %d, want 1000", got)
+	}
+	if got := s.scalars["dynbw_gateway_active_sessions"]; got != 10 {
+		t.Errorf("sessions = %d, want 10", got)
+	}
+	h := s.hists[`dynbw_gateway_stage_ns{stage="read"}`]
+	if h == nil {
+		t.Fatal("read-stage histogram not parsed")
+	}
+	if h.count != 1000 || h.sum != 120000 {
+		t.Errorf("read stage count/sum = %d/%d, want 1000/120000", h.count, h.sum)
+	}
+	if len(h.buckets) != 3 || h.buckets[0].le != 100 || h.buckets[2].le != math.MaxInt64 {
+		t.Errorf("read stage buckets = %+v", h.buckets)
+	}
+	// Histogram helper lines must not leak into the scalar map.
+	for _, key := range []string{
+		`dynbw_gateway_stage_ns_sum{stage="read"}`,
+		`dynbw_gateway_stage_ns_count{stage="read"}`,
+		`dynbw_gateway_stage_ns_bucket{stage="read",le="100"}`,
+	} {
+		if _, ok := s.scalars[key]; ok {
+			t.Errorf("histogram line %s parsed as scalar", key)
+		}
+	}
+}
+
+func TestStripLE(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		le   int64
+		rest string
+		ok   bool
+	}{
+		{`{stage="read",le="100"}`, 100, `{stage="read"}`, true},
+		{`{le="+Inf"}`, math.MaxInt64, "", true},
+		{`{stage="read"}`, 0, `{stage="read"}`, false},
+		{"", 0, "", false},
+	} {
+		le, rest, ok := stripLE(tc.in)
+		if le != tc.le || rest != tc.rest || ok != tc.ok {
+			t.Errorf("stripLE(%q) = %d %q %v, want %d %q %v", tc.in, le, rest, ok, tc.le, tc.rest, tc.ok)
+		}
+	}
+}
+
+func TestDeltaAndQuantile(t *testing.T) {
+	a := parseProm(promA, time.Unix(0, 0))
+	b := parseProm(promB, time.Unix(2, 0))
+	key := `dynbw_gateway_stage_ns{stage="read"}`
+	d := delta(a.hists[key], b.hists[key])
+	if d.count != 100 {
+		t.Fatalf("window count = %d, want 100", d.count)
+	}
+	// Window: 50 obs <=100, 40 in (100,200], 10 in (200,400] — the new
+	// le=400 bucket has no prev counterpart and must count from zero.
+	p50 := d.quantile(0.50)
+	if p50 != 100 {
+		t.Errorf("p50 = %d, want 100 (50th obs closes the first bucket)", p50)
+	}
+	p99 := d.quantile(0.99)
+	if p99 <= 200 || p99 > 400 {
+		t.Errorf("p99 = %d, want in (200,400]", p99)
+	}
+	if q := (&hist{}).quantile(0.5); q != 0 {
+		t.Errorf("empty histogram quantile = %d, want 0", q)
+	}
+	var nilH *hist
+	if q := nilH.quantile(0.5); q != 0 {
+		t.Errorf("nil histogram quantile = %d, want 0", q)
+	}
+	// +Inf-only mass reports the highest finite bound.
+	inf := delta(a.hists[`dynbw_gateway_shard_tick_ns{shard="0"}`], b.hists[`dynbw_gateway_shard_tick_ns{shard="0"}`])
+	if q := inf.quantile(0.99); q != 1000 {
+		t.Errorf("+Inf-bucket p99 = %d, want the 1000 lower bound", q)
+	}
+}
+
+func TestDashboard(t *testing.T) {
+	a := parseProm(promA, time.Unix(0, 0))
+	b := parseProm(promB, time.Unix(2, 0))
+	var sb strings.Builder
+	dashboard(&sb, "test:1", 2*time.Second, a, b)
+	out := sb.String()
+	for _, want := range []string{
+		"messages/s  50  data 50",   // 100 DATA over 2s
+		"bits/s      arrived 500",   // 1000 bits over 2s
+		"alloc changes/s 10",        // 20 over 2s, via the policy label scan
+		"sessions    12 open",       // gauge from the second scrape
+		"ticks/s     100",           // 200 over 2s
+		"read",                      // stage percentile line present
+		"shard tick p99 over window",
+		"shard 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dashboard missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunScrapesTwice drives run against a canned /metrics server: the
+// first scrape sees promA, every later one promB.
+func TestRunScrapesTwice(t *testing.T) {
+	var n atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		if n.Add(1) == 1 {
+			w.Write([]byte(promA))
+			return
+		}
+		w.Write([]byte(promB))
+	}))
+	defer srv.Close()
+	addr := strings.TrimPrefix(srv.URL, "http://")
+	var sb strings.Builder
+	if err := run([]string{"-addr", addr, "-interval", "10ms"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Load(); got != 2 {
+		t.Errorf("scraped %d times, want 2", got)
+	}
+	if !strings.Contains(sb.String(), "bwstat "+addr) || !strings.Contains(sb.String(), "data") {
+		t.Errorf("unexpected dashboard:\n%s", sb.String())
+	}
+}
+
+func TestRunRejectsBadInterval(t *testing.T) {
+	if err := run([]string{"-interval", "0s"}, &strings.Builder{}); err == nil {
+		t.Error("zero interval accepted")
+	}
+}

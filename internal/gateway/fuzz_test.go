@@ -40,6 +40,8 @@ func FuzzHandleMessage(f *testing.F) {
 	f.Add(fuzzSeed(typeStats, 3))
 	f.Add(fuzzSeed(typeClose, 1<<31))
 	f.Add(fuzzSeed(typeData, 7, 1<<63))
+	f.Add(append(fuzzSeed(typeOpen), append([]byte{typeTrace, 0, 0, 0, 0, 0, 0, 0, 9}, fuzzSeed(typeData, 0, 64)...)...))
+	f.Add([]byte{typeTrace, 1, 2, 3, 4, 5, 6, 7, 8, typeTrace})
 	f.Add([]byte{0xff, 0x00})
 	f.Add([]byte{})
 

@@ -19,6 +19,10 @@
 //	                                        before the reply is written, so a
 //	                                        client that has read CLOSED can
 //	                                        immediately reopen)
+//	TRACE:  type=9, trace uint64         (envelope: must be immediately
+//	                                        followed by a normal message, which
+//	                                        the gateway records a wire-path
+//	                                        span for under the given trace ID)
 //
 // A connection may OPEN any number of sessions and multiplex them (the
 // Mux client; one TCP connection per session would exhaust descriptors
@@ -66,6 +70,10 @@ const (
 	typeClose    byte = 6
 	typeClosed   byte = 7
 	typeOpenFail byte = 8
+	// typeTrace is a client->gateway envelope, not a message: a trace ID
+	// (uint64) that must be immediately followed by a normal message. The
+	// gateway records a span for that message under the client's ID.
+	typeTrace byte = 9
 )
 
 // statsReplyLen is the wire size of a STATSR message (type byte + four
@@ -139,6 +147,18 @@ type Config struct {
 	// and the per-exchange latency histogram. Hot-path counters are
 	// lock-striped per shard and merged at scrape time.
 	Metrics *obs.Registry
+	// Spans, when non-nil, receives 1-in-SpanSampleEvery sampled
+	// wire-path spans (and every client-requested TRACE exchange). Build
+	// it with obs.NewSpanRing(n, gateway.StageNames()).
+	Spans *obs.SpanRing
+	// SpanSampleEvery is the sampling period for locally sampled spans;
+	// non-positive means obs.DefaultSampleEvery, 1 samples everything.
+	// Ignored when Spans is nil.
+	SpanSampleEvery int
+	// TickBudget, when positive, counts allocation rounds that take
+	// longer than this as tick overruns (dynbw_gateway_tick_overruns_total
+	// and a flight-recorder trigger in cmd/bwgateway).
+	TickBudget time.Duration
 	// Policy labels the allocation-changes counter series (default
 	// "unknown").
 	Policy string
@@ -176,6 +196,14 @@ type Gateway struct {
 	shardObs []obs.Observer // per-shard emission handles (ring stripes when sharded)
 	m        *gwMetrics
 	log      *obs.RateLimited
+
+	spans      *obs.SpanRing // sampled wire-path spans (nil disables)
+	sampler    *obs.Sampler  // 1-in-N span decisions, striped per shard
+	tickBudget time.Duration
+	roundDur   []int64 // per-shard duration of the current round, ns; written
+	// by the shard's tick worker, read by the tick loop after the join
+	// (the WaitGroup orders the accesses)
+	imbalEwma int64 // tick-loop only: EWMA of max/mean shard duration, permille
 
 	now      atomic.Int64 // completed allocation rounds
 	nextConn atomic.Int64 // round-robin conn -> shard stripe assignment
@@ -288,6 +316,11 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 		}
 	}
 	g.m = newGWMetrics(cfg.Metrics, cfg.Policy, len(g.shards))
+	g.spans = cfg.Spans
+	if g.spans != nil {
+		g.sampler = obs.NewSampler(uint64(max(cfg.SpanSampleEvery, 0)), len(g.shards))
+	}
+	g.tickBudget = cfg.TickBudget
 	if cfg.Metrics != nil {
 		for i, sh := range g.shards {
 			sh := sh
@@ -304,7 +337,7 @@ func NewWithConfig(cfg Config) (*Gateway, error) {
 			workers = len(g.shards)
 		}
 		for w := 0; w < workers; w++ {
-			go g.tickWorker()
+			go g.tickWorker(w)
 		}
 	}
 	g.wg.Add(1)
@@ -330,6 +363,7 @@ func newGateway(k, nshards int) *Gateway {
 	for i := range g.shards {
 		g.shards[i] = newShard(g, i, i*g.spp, g.spp)
 	}
+	g.roundDur = make([]int64, nshards)
 	return g
 }
 

@@ -1,6 +1,10 @@
 package gateway
 
 import (
+	"runtime"
+	"strconv"
+
+	"dynbw/internal/metrics"
 	"dynbw/internal/obs"
 )
 
@@ -24,10 +28,40 @@ type gwMetrics struct {
 	servedBits   *obs.Striped
 	allocChanges *obs.Striped
 	exchange     *obs.StripedHistogram
+	// stages times the wire-path pipeline for every message, by stage
+	// (read/dispatch/apply/write), striped per shard.
+	stages [numStages]*obs.StripedHistogram
+	// tickShard times each shard's allocation round; its stripes double
+	// as the per-shard dynbw_gateway_shard_tick_ns series.
+	tickShard    *obs.StripedHistogram
+	tickRound    *obs.LiveHistogram // whole round, fan-out to join
+	joinWait     *obs.LiveHistogram // slowest minus fastest shard per round
+	imbalance    *obs.Gauge         // EWMA max/mean shard duration, permille
+	tickOverruns *obs.Counter       // rounds exceeding Config.TickBudget
+	// connStripes is the stripe count of the connection-keyed instruments
+	// (messages, exchange, stages) — at least the shard count, but padded
+	// up to the core count so a single-shard gateway's connections do not
+	// all contend on one stripe mutex.
+	connStripes int
+}
+
+// connStripeCount pads the shard count up to GOMAXPROCS (capped at 16)
+// for connection-keyed instruments: shard-keyed instruments need exactly
+// one stripe per shard, but handler-side updates contend per connection,
+// not per shard.
+func connStripeCount(shards int) int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 16 {
+		n = 16
+	}
+	if n < shards {
+		n = shards
+	}
+	return n
 }
 
 func newGWMetrics(reg *obs.Registry, policy string, stripes int) *gwMetrics {
-	m := &gwMetrics{}
+	m := &gwMetrics{connStripes: connStripeCount(stripes)}
 	if reg == nil {
 		return m
 	}
@@ -36,15 +70,16 @@ func newGWMetrics(reg *obs.Registry, policy string, stripes int) *gwMetrics {
 	}
 	m.accepts = reg.Counter("dynbw_gateway_accepts_total", "Connections accepted.")
 	m.acceptErrors = reg.Counter("dynbw_gateway_accept_errors_total", "Accept failures (each backs off the accept loop).")
-	m.messages = make(map[byte]*obs.Striped, 5)
+	m.messages = make(map[byte]*obs.Striped, 6)
 	for typ, label := range map[byte]string{
 		typeOpen:  "open",
 		typeData:  "data",
 		typeStats: "stats",
 		typeClose: "close",
+		typeTrace: "trace",
 		0:         "unknown",
 	} {
-		s := obs.NewStriped(stripes)
+		s := obs.NewStriped(m.connStripes)
 		reg.CounterFunc("dynbw_gateway_messages_total", "Wire messages handled, by type.", s.Value, obs.L("type", label))
 		m.messages[typ] = s
 	}
@@ -64,10 +99,33 @@ func newGWMetrics(reg *obs.Registry, policy string, stripes int) *gwMetrics {
 	reg.CounterFunc("dynbw_gateway_allocation_changes_total",
 		"Per-session bandwidth allocation changes — the paper's cost measure, live.",
 		m.allocChanges.Value, obs.L("policy", policy))
-	m.exchange = obs.NewStripedHistogram(stripes)
+	m.exchange = obs.NewStripedHistogram(m.connStripes)
 	reg.HistogramFunc("dynbw_gateway_exchange_latency_ns",
 		"Per-message handling latency (first byte read to reply written), nanoseconds.",
 		m.exchange.Snapshot)
+	for i := 0; i < numStages; i++ {
+		h := obs.NewStripedHistogram(m.connStripes)
+		reg.HistogramFunc("dynbw_gateway_stage_ns",
+			"Wire-path stage latency, nanoseconds, by pipeline stage.",
+			h.Snapshot, obs.L("stage", stageNames[i]))
+		m.stages[i] = h
+	}
+	m.tickShard = obs.NewStripedHistogram(stripes)
+	for i := 0; i < stripes; i++ {
+		i := i
+		reg.HistogramFunc("dynbw_gateway_shard_tick_ns",
+			"Allocation-round duration per shard, nanoseconds.",
+			func() metrics.Histogram { return m.tickShard.StripeSnapshot(i) },
+			obs.L("shard", strconv.Itoa(i)))
+	}
+	m.tickRound = reg.Histogram("dynbw_gateway_tick_round_ns",
+		"Whole allocation-round duration (fan-out to join), nanoseconds.")
+	m.joinWait = reg.Histogram("dynbw_gateway_tick_join_wait_ns",
+		"Straggler wait per round: slowest minus fastest shard, nanoseconds (sharded only).")
+	m.imbalance = reg.Gauge("dynbw_gateway_tick_imbalance_permille",
+		"EWMA of slowest-shard round duration over the mean, permille (1000 = balanced).")
+	m.tickOverruns = reg.Counter("dynbw_gateway_tick_overruns_total",
+		"Allocation rounds that exceeded the configured tick budget.")
 	return m
 }
 

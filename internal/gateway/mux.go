@@ -24,6 +24,11 @@ type Mux struct {
 	timeout time.Duration
 	open    map[uint32]struct{} // guarded by mu; sessions this conn holds
 	closed  bool                // guarded by mu
+
+	traceEvery uint64   // guarded by mu; 0 disables client-side tracing
+	exchanges  uint64   // guarded by mu; requests sent since TraceEvery was set
+	nextTrace  uint64   // guarded by mu; client-minted trace IDs
+	scratch    [22]byte // guarded by mu; envelope+request assembly buffer
 }
 
 // DialMux connects to a gateway without opening any session. The
@@ -49,6 +54,41 @@ func (m *Mux) disarmDeadline() {
 	}
 }
 
+// TraceEvery asks the gateway to trace every n-th request sent through
+// this mux: the request is prefixed with a TRACE envelope carrying a
+// client-minted trace ID (top bit set, distinguishing it from the
+// gateway's own sampled IDs), and the gateway records a full wire-path
+// span for it regardless of its local sampling rate. n <= 0 disables.
+func (m *Mux) TraceEvery(n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if n <= 0 {
+		m.traceEvery = 0
+		return
+	}
+	m.traceEvery = uint64(n)
+	m.exchanges = 0
+}
+
+// writeMsg sends one request, prefixing a TRACE envelope on every
+// traceEvery-th request — assembled into the scratch buffer so envelope
+// and request leave in a single Write. Callers hold m.mu.
+func (m *Mux) writeMsg(msg []byte) error {
+	if m.traceEvery > 0 {
+		if m.exchanges++; m.exchanges%m.traceEvery == 0 {
+			m.nextTrace++
+			buf := m.scratch[:0]
+			buf = append(buf, typeTrace)
+			buf = binary.BigEndian.AppendUint64(buf, 1<<63|m.nextTrace)
+			buf = append(buf, msg...)
+			_, err := m.conn.Write(buf)
+			return err
+		}
+	}
+	_, err := m.conn.Write(msg)
+	return err
+}
+
 // Open performs an OPEN/OPENED exchange and returns the new session ID.
 // ErrSessionLimit means every slot is taken; the Mux stays usable.
 func (m *Mux) Open() (uint32, error) {
@@ -59,7 +99,7 @@ func (m *Mux) Open() (uint32, error) {
 	}
 	m.armDeadline()
 	defer m.disarmDeadline()
-	if _, err := m.conn.Write([]byte{typeOpen}); err != nil {
+	if err := m.writeMsg([]byte{typeOpen}); err != nil {
 		return 0, fmt.Errorf("gateway: open: %w", err)
 	}
 	var typ [1]byte
@@ -98,7 +138,7 @@ func (m *Mux) Send(session uint32, bits bw.Bits) error {
 	binary.BigEndian.PutUint64(msg[5:], uint64(bits))
 	m.armDeadline()
 	defer m.disarmDeadline()
-	if _, err := m.conn.Write(msg[:]); err != nil {
+	if err := m.writeMsg(msg[:]); err != nil {
 		return fmt.Errorf("gateway: send: %w", err)
 	}
 	return nil
@@ -116,7 +156,7 @@ func (m *Mux) Stats(session uint32) (SessionStats, error) {
 	binary.BigEndian.PutUint32(req[1:], session)
 	m.armDeadline()
 	defer m.disarmDeadline()
-	if _, err := m.conn.Write(req[:]); err != nil {
+	if err := m.writeMsg(req[:]); err != nil {
 		return SessionStats{}, fmt.Errorf("gateway: stats: %w", err)
 	}
 	var reply [statsReplyLen]byte
@@ -148,7 +188,7 @@ func (m *Mux) CloseSession(session uint32) error {
 	binary.BigEndian.PutUint32(req[1:], session)
 	m.armDeadline()
 	defer m.disarmDeadline()
-	if _, err := m.conn.Write(req[:]); err != nil {
+	if err := m.writeMsg(req[:]); err != nil {
 		return fmt.Errorf("gateway: close: %w", err)
 	}
 	var reply [1]byte

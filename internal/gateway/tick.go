@@ -1,6 +1,11 @@
 package gateway
 
 import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+	"time"
+
 	"dynbw/internal/bw"
 )
 
@@ -8,18 +13,24 @@ import (
 // allocation round: single-shard gateways run it inline, sharded
 // gateways fan the round out to the tick workers and join before
 // advancing now — so every shard computes rates for the same tick t and
-// the cost measure is identical to the single-lock gateway's.
+// the cost measure is identical to the single-lock gateway's. The loop
+// also profiles each round: whole-round and per-shard durations, the
+// join wait (slowest minus fastest shard — straggler cost), a shard
+// imbalance EWMA, and overruns of the configured tick budget.
 func (g *Gateway) tickLoop() {
 	defer close(g.done)
 	if g.tickCh != nil {
 		defer close(g.tickCh)
 	}
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("dynbw", "tick-loop")))
 	for {
 		select {
 		case <-g.closing:
 			return
 		case <-g.ticks:
 			t := bw.Tick(g.now.Load())
+			start := time.Now()
 			if g.tickCh == nil {
 				g.shardRound(g.shards[0], t)
 			} else {
@@ -29,9 +40,42 @@ func (g *Gateway) tickLoop() {
 				}
 				g.tickWG.Wait()
 			}
+			round := time.Since(start)
+			g.m.tickRound.Observe(int64(round))
+			if len(g.shards) > 1 {
+				g.observeRoundSpread()
+			}
+			if g.tickBudget > 0 && round > g.tickBudget {
+				g.m.tickOverruns.Inc()
+			}
 			g.now.Add(1)
 			g.m.ticks.Inc()
 		}
+	}
+}
+
+// observeRoundSpread folds the just-joined round's per-shard durations
+// (roundDur, ordered by the tickWG join) into the straggler histogram
+// and the imbalance gauge. The imbalance is an EWMA (alpha = 1/8) of
+// max/mean in permille: 1000 means perfectly balanced shards, 2000 means
+// the slowest shard takes twice the mean — resharding or slot-placement
+// trouble.
+func (g *Gateway) observeRoundSpread() {
+	minD, maxD, sum := g.roundDur[0], g.roundDur[0], int64(0)
+	for _, d := range g.roundDur {
+		if d < minD {
+			minD = d
+		}
+		if d > maxD {
+			maxD = d
+		}
+		sum += d
+	}
+	g.m.joinWait.Observe(maxD - minD)
+	if mean := sum / int64(len(g.roundDur)); mean > 0 {
+		cur := maxD * 1000 / mean
+		g.imbalEwma += (cur - g.imbalEwma) / 8
+		g.m.imbalance.Set(g.imbalEwma)
 	}
 }
 
@@ -39,21 +83,32 @@ func (g *Gateway) tickLoop() {
 // allocation round per index. Workers are started once at construction
 // (capped at GOMAXPROCS) and exit when the tick loop closes the channel.
 // Each index is sent exactly once per round, so no two workers ever
-// process the same shard concurrently.
-func (g *Gateway) tickWorker() {
+// process the same shard concurrently. Workers carry pprof goroutine
+// labels so CPU and goroutine profiles separate allocation work from
+// connection handlers.
+func (g *Gateway) tickWorker(w int) {
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+		pprof.Labels("dynbw", "tick-worker", "worker", strconv.Itoa(w))))
 	for idx := range g.tickCh {
 		g.shardRound(g.shards[idx], bw.Tick(g.now.Load()))
 		g.tickWG.Done()
 	}
 }
 
-// shardRound runs one allocation round on one shard and folds the
-// result into the shard's stripe of the gateway counters.
+// shardRound runs one allocation round on one shard, folds the result
+// into the shard's stripe of the gateway counters, and records the
+// shard's round duration (its tick histogram stripe, and roundDur for
+// the join-spread profile — the WaitGroup join orders that write before
+// the tick loop's read).
 func (g *Gateway) shardRound(sh *shard, t bw.Tick) {
+	start := time.Now()
 	arrivedBits, servedBits, changes := sh.tick(t)
 	g.m.arrivedBits.Add(sh.idx, int64(arrivedBits))
 	g.m.servedBits.Add(sh.idx, int64(servedBits))
 	g.m.allocChanges.Add(sh.idx, changes)
+	d := int64(time.Since(start))
+	g.m.tickShard.Observe(sh.idx, d)
+	g.roundDur[sh.idx] = d
 }
 
 // tick runs one allocation round over this shard's slots: drain pending

@@ -1,0 +1,305 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"dynbw/internal/obs"
+	"dynbw/internal/sim"
+)
+
+// startTraced launches a sharded gateway with a metrics registry and a
+// span ring sampling every n-th message.
+func startTraced(t *testing.T, k, nshards, sampleEvery int) (*Gateway, *manualTicks, *obs.Registry, *obs.SpanRing) {
+	t.Helper()
+	ticks := newManualTicks()
+	reg := obs.NewRegistry()
+	ring := obs.NewSpanRing(256, StageNames())
+	cfg := Config{
+		Addr: "127.0.0.1:0", Slots: k, Ticks: ticks.ch,
+		Metrics: reg, Spans: ring, SpanSampleEvery: sampleEvery,
+	}
+	if nshards > 1 {
+		cfg.Shards = nshards
+		cfg.ShardAllocs = make([]sim.MultiAllocator, nshards)
+		for i := range cfg.ShardAllocs {
+			cfg.ShardAllocs[i] = perSlotAlloc{cap: 16}
+		}
+	} else {
+		cfg.Alloc = perSlotAlloc{cap: 16}
+	}
+	g, err := NewWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, ticks, reg, ring
+}
+
+func TestSpanSamplingEndToEnd(t *testing.T) {
+	g, _, reg, ring := startTraced(t, 4, 1, 1) // sample every message
+	defer g.Close()
+	m, err := DialMux(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	id, err := m.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Send(id, 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Stats(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CloseSession(id); err != nil {
+		t.Fatal(err)
+	}
+	// All four exchanges have been answered, so their spans are pushed.
+	spans := ring.Snapshot()
+	if len(spans) != 4 {
+		t.Fatalf("got %d spans, want 4: %+v", len(spans), spans)
+	}
+	kinds := map[string]obs.Span{}
+	for _, s := range spans {
+		kinds[s.Kind] = s
+	}
+	for _, k := range []string{"open", "data", "stats", "close"} {
+		s, ok := kinds[k]
+		if !ok {
+			t.Fatalf("no %s span in %+v", k, spans)
+		}
+		if s.Trace == 0 || s.Client {
+			t.Errorf("%s span trace=%d client=%v, want local non-zero", k, s.Trace, s.Client)
+		}
+		if s.TotalNs <= 0 {
+			t.Errorf("%s span total = %d", k, s.TotalNs)
+		}
+		var stagesSum int64
+		for _, ns := range s.Stages {
+			if ns < 0 {
+				t.Errorf("%s span has negative stage: %v", k, s.Stages)
+			}
+			stagesSum += ns
+		}
+		if stagesSum <= 0 || stagesSum > s.TotalNs {
+			t.Errorf("%s span stages sum %d vs total %d", k, stagesSum, s.TotalNs)
+		}
+		if s.Session != int(id) && k != "open" {
+			t.Errorf("%s span session = %d, want %d", k, s.Session, id)
+		}
+	}
+	// STATS holds the shard lock: its dispatch and apply stages are
+	// marked, and the reply write is timed.
+	st := kinds["stats"]
+	if st.Stages[stageDispatch] <= 0 || st.Stages[stageApply] <= 0 || st.Stages[stageWrite] <= 0 {
+		t.Errorf("stats span stages = %v, want dispatch/apply/write > 0", st.Stages)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, want := range []string{
+		`dynbw_gateway_stage_ns_count{stage="read"}`,
+		`dynbw_gateway_stage_ns_count{stage="dispatch"}`,
+		`dynbw_gateway_stage_ns_count{stage="apply"}`,
+		`dynbw_gateway_stage_ns_count{stage="write"}`,
+		`dynbw_gateway_messages_total{type="trace"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+}
+
+func TestSpanSamplingRate(t *testing.T) {
+	g, _, _, ring := startTraced(t, 4, 1, 8) // every 8th message
+	defer g.Close()
+	m, err := DialMux(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	id, err := m.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 31; i++ { // 32 messages total with the OPEN
+		if err := m.Send(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Stats(id); err != nil { // flush: all DATA handled once replied
+		t.Fatal(err)
+	}
+	if got := ring.Total(); got != 4 { // 33 messages / 8
+		t.Errorf("sampled %d spans over 33 messages at 1-in-8, want 4", got)
+	}
+}
+
+func TestClientTraceEnvelope(t *testing.T) {
+	// Sampling period far above the message count: every span must come
+	// from the client's TRACE envelopes, not local sampling.
+	g, _, _, ring := startTraced(t, 4, 1, 1<<20)
+	defer g.Close()
+	m, err := DialMux(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	m.TraceEvery(2) // every second request carries an envelope
+	id, err := m.Open()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := m.Send(id, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := m.Stats(id); err != nil {
+		t.Fatal(err)
+	}
+	// 5 requests, envelopes on the 2nd and 4th.
+	spans := ring.Snapshot()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2 client-traced: %+v", len(spans), spans)
+	}
+	for _, s := range spans {
+		if !s.Client {
+			t.Errorf("span %+v not marked client-traced", s)
+		}
+		if s.Trace>>63 != 1 {
+			t.Errorf("client trace ID %x missing the top bit", s.Trace)
+		}
+		if s.Kind != "data" {
+			t.Errorf("span kind = %q, want data (envelopes ride requests 2 and 4)", s.Kind)
+		}
+	}
+}
+
+func TestNestedTraceEnvelopeIsProtocolViolation(t *testing.T) {
+	g := newBare(4)
+	cs := &connState{owned: make(map[int]struct{})}
+	var in bytes.Buffer
+	in.WriteByte(typeTrace)
+	var tb [8]byte
+	binary.BigEndian.PutUint64(tb[:], 7)
+	in.Write(tb[:])
+	in.WriteByte(typeTrace) // nested envelope
+	in.Write(tb[:])
+	err := g.handleMessage(bytes.NewReader(in.Bytes()), io.Discard, cs)
+	if err == nil || !strings.Contains(err.Error(), "TRACE") {
+		t.Fatalf("nested envelope error = %v", err)
+	}
+}
+
+func TestTickProfilingMetrics(t *testing.T) {
+	ticks := newManualTicks()
+	reg := obs.NewRegistry()
+	cfg := Config{
+		Addr: "127.0.0.1:0", Slots: 8, Shards: 4, Ticks: ticks.ch,
+		Metrics: reg, TickBudget: time.Nanosecond, // every round overruns
+		ShardAllocs: []sim.MultiAllocator{
+			perSlotAlloc{cap: 16}, perSlotAlloc{cap: 16},
+			perSlotAlloc{cap: 16}, perSlotAlloc{cap: 16},
+		},
+	}
+	g, err := NewWithConfig(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	for i := 0; i < 3; i++ {
+		ticks.tick()
+	}
+	ticks.tick() // guarantees the first three rounds completed
+	snap := reg.Snapshot()
+	if c := snap["dynbw_gateway_tick_round_ns:count"]; c < 3 {
+		t.Errorf("tick_round count = %d, want >= 3", c)
+	}
+	if c := snap["dynbw_gateway_tick_join_wait_ns:count"]; c < 3 {
+		t.Errorf("join_wait count = %d, want >= 3", c)
+	}
+	if c := snap["dynbw_gateway_tick_overruns_total"]; c < 3 {
+		t.Errorf("tick_overruns = %d with a 1ns budget, want >= 3", c)
+	}
+	if v := snap["dynbw_gateway_tick_imbalance_permille"]; v < 0 {
+		t.Errorf("imbalance = %d", v)
+	}
+	for shard := 0; shard < 4; shard++ {
+		key := `dynbw_gateway_shard_tick_ns{shard="` + string(rune('0'+shard)) + `"}:count`
+		if c := snap[key]; c < 3 {
+			t.Errorf("%s = %d, want >= 3", key, c)
+		}
+	}
+}
+
+func TestProfileSnapshot(t *testing.T) {
+	g, ticks, _, _ := startTraced(t, 4, 2, 1)
+	defer g.Close()
+	m, err := DialMux(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Open(); err != nil {
+		t.Fatal(err)
+	}
+	ticks.tick()
+	ticks.tick()
+	p := g.Profile()
+	if len(p.StageNames) != numStages || len(p.Stages) != numStages {
+		t.Fatalf("profile stages: %d names, %d histograms", len(p.StageNames), len(p.Stages))
+	}
+	if p.Exchange.Count() < 1 {
+		t.Errorf("exchange count = %d, want >= 1", p.Exchange.Count())
+	}
+	if p.Stages[stageApply].Count() < 1 {
+		t.Errorf("apply stage count = %d (OPEN marks apply)", p.Stages[stageApply].Count())
+	}
+	if len(p.ShardTicks) != 2 {
+		t.Fatalf("shard ticks = %d, want 2", len(p.ShardTicks))
+	}
+	if p.TickRound.Count() < 1 {
+		t.Errorf("tick round count = %d", p.TickRound.Count())
+	}
+}
+
+// TestHandleMessageUnsampledZeroAlloc is the overhead contract of the
+// wire-path instrumentation: with metrics and a default-rate sampler
+// attached, a DATA message that does not get sampled must not allocate
+// at all relative to the uninstrumented gateway — the span scratch lives
+// in connState and the stage clock is plain time arithmetic.
+func TestHandleMessageUnsampledZeroAlloc(t *testing.T) {
+	bare := newBare(4)
+	instr := newBare(4)
+	instr.m = newGWMetrics(obs.NewRegistry(), "test", 1)
+	instr.spans = obs.NewSpanRing(64, StageNames())
+	instr.sampler = obs.NewSampler(obs.DefaultSampleEvery, 1)
+
+	data := fuzzSeed(typeData, 0, 64)
+	measure := func(g *Gateway) float64 {
+		cs := &connState{owned: map[int]struct{}{0: {}}}
+		g.shards[0].used[0] = true
+		g.shards[0].inUse = 1
+		r := bytes.NewReader(nil)
+		return testing.AllocsPerRun(512, func() {
+			r.Reset(data)
+			if err := g.handleMessage(r, io.Discard, cs); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	base := measure(bare)
+	got := measure(instr)
+	if got > base {
+		t.Errorf("instrumented DATA allocates %.2f/op vs %.2f/op bare; instrumentation must add 0", got, base)
+	}
+}

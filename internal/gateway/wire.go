@@ -27,8 +27,13 @@ const (
 // OPEN slot probe starts) and the set of sessions it has opened — a
 // connection may multiplex any number of them.
 type connState struct {
-	stripe int
-	owned  map[int]struct{}
+	stripe  int // shard stripe: home shard, event-ring stripe
+	mstripe int // metrics stripe: striped counters/histograms, sampler
+	owned   map[int]struct{}
+	// span is the per-connection stage clock; pending carries a
+	// client-sent TRACE envelope to the message that follows it.
+	span    spanScratch
+	pending pendingTrace
 }
 
 // logSession picks a representative session ID for diagnostics: the
@@ -74,7 +79,8 @@ func (g *Gateway) acceptLoop() {
 			continue
 		}
 		backoff = 0
-		stripe := int(g.nextConn.Add(1)-1) % len(g.shards)
+		n := int(g.nextConn.Add(1) - 1)
+		stripe := n % len(g.shards)
 		sh := g.shards[stripe]
 		g.m.accepts.Inc()
 		g.m.conns.Add(1)
@@ -82,17 +88,17 @@ func (g *Gateway) acceptLoop() {
 		sh.conns[conn] = struct{}{}
 		sh.mu.Unlock()
 		g.wg.Add(1)
-		go g.handle(conn, stripe)
+		go g.handle(conn, stripe, n%g.m.connStripes)
 	}
 }
 
 // handle serves one client connection: a deadline-bounded loop of
 // handleMessage calls. On exit every session the connection still owns
 // is released.
-func (g *Gateway) handle(conn net.Conn, stripe int) {
+func (g *Gateway) handle(conn net.Conn, stripe, mstripe int) {
 	defer g.wg.Done()
 	defer conn.Close()
-	cs := &connState{stripe: stripe, owned: make(map[int]struct{})}
+	cs := &connState{stripe: stripe, mstripe: mstripe, owned: make(map[int]struct{})}
 	home := g.shards[stripe]
 	defer func() {
 		for id := range cs.owned {
@@ -184,14 +190,37 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
 	if _, err := io.ReadFull(r, typ[:]); err != nil {
 		return err
 	}
-	g.m.message(typ[0]).Inc(cs.stripe)
-	if g.m.exchange != nil {
-		start := time.Now()
-		defer func() { g.m.exchange.Observe(cs.stripe, int64(time.Since(start))) }()
+	if typ[0] == typeTrace {
+		// A TRACE envelope is not a message: read the trace ID, then
+		// require the real message immediately behind it. Nesting
+		// envelopes is a protocol violation.
+		var tb [8]byte
+		if _, err := io.ReadFull(r, tb[:]); err != nil {
+			return err
+		}
+		g.m.message(typeTrace).Inc(cs.mstripe)
+		cs.pending = pendingTrace{id: binary.BigEndian.Uint64(tb[:]), set: true}
+		if _, err := io.ReadFull(r, typ[:]); err != nil {
+			return err
+		}
+		if typ[0] == typeTrace {
+			return fmt.Errorf("%w: nested TRACE envelope", errProtocol)
+		}
 	}
-	switch typ[0] {
+	g.m.message(typ[0]).Inc(cs.mstripe)
+	g.spanBegin(cs, typ[0])
+	err := g.applyMessage(r, w, cs, typ[0])
+	g.spanEnd(cs, err)
+	return err
+}
+
+// applyMessage dispatches one message whose type byte has been read,
+// marking the wire-path stages on cs's span clock as it goes.
+func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte) error {
+	switch typ {
 	case typeOpen:
 		id, err := g.openSession(cs.stripe)
+		g.spanMark(cs, stageApply)
 		if err != nil {
 			// Slot exhaustion is an expected steady-state condition under
 			// load, not a protocol violation: tell the client and keep the
@@ -201,9 +230,11 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
 			if _, werr := w.Write([]byte{typeOpenFail}); werr != nil {
 				return werr
 			}
+			g.spanMark(cs, stageWrite)
 			return nil
 		}
 		cs.owned[id] = struct{}{}
+		cs.span.sess = id
 		g.emitAt(g.shardOf(id).idx, obs.Event{Type: obs.EventSessionOpen, Session: id})
 		var reply [5]byte
 		reply[0] = typeOpened
@@ -211,37 +242,46 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
 		if _, err := w.Write(reply[:]); err != nil {
 			return err
 		}
+		g.spanMark(cs, stageWrite)
 	case typeData:
 		var body [12]byte
 		if _, err := io.ReadFull(r, body[:]); err != nil {
 			return err
 		}
+		g.spanMark(cs, stageRead)
 		id := int(binary.BigEndian.Uint32(body[0:]))
 		bits := int64(binary.BigEndian.Uint64(body[4:]))
 		if _, ok := cs.owned[id]; !ok || bits < 0 {
 			return fmt.Errorf("%w: DATA session=%d bits=%d (owns %d sessions)", errProtocol, id, bits, len(cs.owned))
 		}
+		cs.span.sess = id
 		sh := g.shardOf(id)
 		sh.mu.Lock()
+		g.spanMark(cs, stageDispatch)
 		sh.pending[sh.slot(id)] += bits
 		sh.mu.Unlock()
+		g.spanMark(cs, stageApply)
 	case typeStats:
 		var body [4]byte
 		if _, err := io.ReadFull(r, body[:]); err != nil {
 			return err
 		}
+		g.spanMark(cs, stageRead)
 		id := int(binary.BigEndian.Uint32(body[:]))
 		if _, ok := cs.owned[id]; !ok {
 			return fmt.Errorf("%w: STATS session=%d (owns %d sessions)", errProtocol, id, len(cs.owned))
 		}
+		cs.span.sess = id
 		sh := g.shardOf(id)
 		sh.mu.Lock()
+		g.spanMark(cs, stageDispatch)
 		slot := sh.slot(id)
 		served := sh.queues[slot].Served()
 		queued := sh.queues[slot].Bits()
 		maxDelay := sh.queues[slot].MaxDelay()
 		changes := sh.scheds[slot].Changes()
 		sh.mu.Unlock()
+		g.spanMark(cs, stageApply)
 		var reply [statsReplyLen]byte
 		reply[0] = typeStatsR
 		binary.BigEndian.PutUint64(reply[1:], uint64(served))
@@ -251,25 +291,30 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
 		if _, err := w.Write(reply[:]); err != nil {
 			return err
 		}
+		g.spanMark(cs, stageWrite)
 	case typeClose:
 		var body [4]byte
 		if _, err := io.ReadFull(r, body[:]); err != nil {
 			return err
 		}
+		g.spanMark(cs, stageRead)
 		id := int(binary.BigEndian.Uint32(body[:]))
 		if _, ok := cs.owned[id]; !ok {
 			return fmt.Errorf("%w: CLOSE session=%d (owns %d sessions)", errProtocol, id, len(cs.owned))
 		}
+		cs.span.sess = id
 		// Release before replying: a client that has read CLOSED may dial
 		// or OPEN again immediately and must find the slot free.
 		g.releaseSession(id)
 		delete(cs.owned, id)
 		g.emitAt(g.shardOf(id).idx, obs.Event{Type: obs.EventSessionClose, Session: id})
+		g.spanMark(cs, stageApply)
 		if _, err := w.Write([]byte{typeClosed}); err != nil {
 			return err
 		}
+		g.spanMark(cs, stageWrite)
 	default:
-		return fmt.Errorf("%w: unknown message type %d", errProtocol, typ[0])
+		return fmt.Errorf("%w: unknown message type %d", errProtocol, typ)
 	}
 	return nil
 }

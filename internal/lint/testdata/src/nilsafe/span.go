@@ -1,0 +1,47 @@
+package nilsafe
+
+// The fixtures below mirror the obs span-ring and flight-recorder
+// shapes: ring types whose Push/Drain run on hot paths where a disabled
+// registry hands every caller a nil receiver.
+
+// SpanBuf is a bounded trace buffer.
+//
+// bwlint:nilsafe
+type SpanBuf struct {
+	buf  []int64
+	next int
+}
+
+// Push guards first, as the contract demands.
+func (r *SpanBuf) Push(v int64) {
+	if r == nil {
+		return
+	}
+	r.buf[r.next%len(r.buf)] = v
+	r.next++
+}
+
+// Drain forgets the guard even though Push has one — exactly the
+// one-lucky-method failure the check exists for.
+func (r *SpanBuf) Drain() []int64 { // want "does not begin with an `if r == nil` guard"
+	out := append([]int64(nil), r.buf[:r.next]...)
+	r.next = 0
+	return out
+}
+
+// Flight is a snapshot recorder. The nil *Flight is a valid no-op.
+type Flight struct {
+	snaps []int64
+}
+
+// Record discards its receiver, so no guard can ever run.
+func (_ *Flight) Record() { // want "discards its receiver"
+}
+
+// Freeze guards with a compound condition.
+func (f *Flight) Freeze(reason string) {
+	if f == nil || reason == "" {
+		return
+	}
+	f.snaps = append(f.snaps, int64(len(reason)))
+}

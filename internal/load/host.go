@@ -53,6 +53,11 @@ type HostConfig struct {
 	// both the policy and the gateway.
 	Registry *obs.Registry
 	Observer obs.Observer
+	// Spans, when non-nil, receives the gateway's sampled wire-path
+	// spans (1 in SpanSampleEvery messages, plus every client TRACE
+	// envelope).
+	Spans           *obs.SpanRing
+	SpanSampleEvery int
 	// Log receives the gateway's rate-limited error diagnostics.
 	Log *slog.Logger
 }
@@ -91,13 +96,16 @@ func StartHost(cfg HostConfig) (*Host, error) {
 		cfg.IdleTimeout = 0
 	}
 	gwCfg := gateway.Config{
-		Addr:        "127.0.0.1:0",
-		Slots:       cfg.Slots,
-		IdleTimeout: cfg.IdleTimeout,
-		Observer:    cfg.Observer,
-		Metrics:     cfg.Registry,
-		Policy:      cfg.Policy,
-		Log:         cfg.Log,
+		Addr:            "127.0.0.1:0",
+		Slots:           cfg.Slots,
+		IdleTimeout:     cfg.IdleTimeout,
+		Observer:        cfg.Observer,
+		Metrics:         cfg.Registry,
+		Policy:          cfg.Policy,
+		Spans:           cfg.Spans,
+		SpanSampleEvery: cfg.SpanSampleEvery,
+		TickBudget:      cfg.Tick,
+		Log:             cfg.Log,
 	}
 	if cfg.Shards > 1 {
 		if cfg.Slots%cfg.Shards != 0 {

@@ -42,6 +42,10 @@ type SoakConfig struct {
 	// the middle of the plateau — the live /metrics view with every
 	// session open.
 	Registry *obs.Registry
+	// TraceEvery, when positive, wraps every TraceEvery-th request on
+	// each multiplexed connection in a TRACE envelope, forcing the
+	// gateway to record a client-tagged span for it (0: no envelopes).
+	TraceEvery int
 }
 
 // SoakResult is the accounting of one soak run.
@@ -110,6 +114,7 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 		if err != nil {
 			return res, fmt.Errorf("load: soak dial conn %d: %w", c, err)
 		}
+		m.TraceEvery(cfg.TraceEvery)
 		muxes = append(muxes, m)
 		want := cfg.PerConn
 		if want > remaining {

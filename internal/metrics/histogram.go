@@ -78,6 +78,31 @@ func (h *Histogram) Observe(v int64) {
 	}
 }
 
+// ObserveN records n identical samples in O(1) — the bulk form behind
+// histogram conversions (runtime/metrics buckets folded into this
+// layout attribute each bucket's count to one representative value).
+// Non-positive n is a no-op; negative v is clamped like Observe.
+func (h *Histogram) ObserveN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	if h.counts == nil {
+		h.counts = make([]uint64, numHistBuckets)
+	}
+	h.counts[histBucket(v)] += uint64(n)
+	h.count += n
+	h.sum += v * n
+	if h.count == n || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
 // Count returns the number of recorded samples.
 func (h *Histogram) Count() int64 { return h.count }
 

@@ -23,6 +23,13 @@ type Admin struct {
 	// []gateway.SessionInfo, kept as a closure so obs does not import
 	// the packages it observes).
 	Sessions func() any
+	// Spans backs /spans (JSONL dump: a span_meta header, then the
+	// retained wire-path spans oldest first).
+	Spans *SpanRing
+	// Snapshots backs /snapshots: the flight recorder's JSONL dump (a
+	// recorder_meta header, the frozen anomaly window if any trigger
+	// fired, then the live snapshot ring).
+	Snapshots *Recorder
 	// Health backs /healthz: nil (or a nil func) reports healthy; an
 	// error reports 503 with the error text.
 	Health func() error
@@ -62,6 +69,14 @@ func (a *Admin) Handler() http.Handler {
 		if a.Ring != nil {
 			a.Ring.WriteJSONL(w)
 		}
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		a.Spans.WriteJSONL(w)
+	})
+	mux.HandleFunc("/snapshots", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		a.Snapshots.WriteJSONL(w)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -121,6 +121,69 @@ func TestAdminEvents(t *testing.T) {
 	}
 }
 
+func TestAdminSpans(t *testing.T) {
+	ring := NewSpanRing(8, []string{"read", "write"})
+	ring.Push(Span{Trace: 42, Kind: "data", Stages: [MaxSpanStages]int64{5, 7}})
+	srv := httptest.NewServer((&Admin{Spans: ring}).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/spans")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want meta + 1 span:\n%s", len(lines), body)
+	}
+	if !strings.Contains(lines[0], `"span_meta":true`) {
+		t.Errorf("meta line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"trace":42`) || !strings.Contains(lines[1], `"read":5`) {
+		t.Errorf("span line = %q", lines[1])
+	}
+	// A nil span ring still serves an empty, well-formed response.
+	empty := httptest.NewServer((&Admin{}).Handler())
+	defer empty.Close()
+	if resp, body := get(t, empty, "/spans"); resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("nil-ring spans = %d %q", resp.StatusCode, body)
+	}
+}
+
+func TestAdminSnapshots(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("dynbw_t_snap_total", "h").Add(3)
+	rec := NewRecorder(RecorderConfig{Registry: reg, Capacity: 4})
+	rec.Record()
+	srv := httptest.NewServer((&Admin{Snapshots: rec}).Handler())
+	defer srv.Close()
+
+	resp, body := get(t, srv, "/snapshots")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want meta + 1 snapshot:\n%s", len(lines), body)
+	}
+	if !strings.Contains(lines[0], `"recorder_meta":true`) {
+		t.Errorf("meta line = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], `"dynbw_t_snap_total":3`) {
+		t.Errorf("snapshot line = %q", lines[1])
+	}
+	empty := httptest.NewServer((&Admin{}).Handler())
+	defer empty.Close()
+	if resp, body := get(t, empty, "/snapshots"); resp.StatusCode != http.StatusOK || strings.TrimSpace(body) != "" {
+		t.Errorf("nil-recorder snapshots = %d %q", resp.StatusCode, body)
+	}
+}
+
 func TestAdminPprof(t *testing.T) {
 	srv := httptest.NewServer((&Admin{}).Handler())
 	defer srv.Close()

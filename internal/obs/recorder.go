@@ -1,0 +1,344 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"dynbw/internal/metrics"
+)
+
+// recorder.go is the flight recorder: a fixed-size ring of periodic
+// whole-registry snapshots with anomaly triggers. In steady state it
+// costs one registry walk per interval; when a trigger fires (an
+// OPENFAIL spike, events_dropped growth, a tick-deadline overrun) the
+// ring's current contents — the window *around* the anomaly — are
+// frozen so the minutes leading up to the incident survive the ring's
+// own churn. The admin /snapshots endpoint and the shutdown path dump
+// both the frozen window and the live ring as JSONL.
+
+// RegSnapshot is one whole-registry sample: every scalar series by its
+// rendered name{labels} key, and for each histogram series its
+// count/sum/p50/p99 under ":"-suffixed keys.
+type RegSnapshot struct {
+	Seq    uint64           `json:"seq"`
+	Time   time.Time        `json:"time"`
+	Values map[string]int64 `json:"values"`
+}
+
+// Snapshot walks every family and returns a flat key → value view of
+// the registry: counters and gauges (including the func-backed
+// variants) under "name{labels}", histograms under
+// "name{labels}:count", ":sum", ":p50" and ":p99". It is the flight
+// recorder's sampling primitive; the nil *Registry returns nil.
+func (r *Registry) Snapshot() map[string]int64 {
+	if r == nil {
+		return nil
+	}
+	type reading struct {
+		name, labels string
+		scalar       func() int64
+		hist         func() metrics.Histogram
+	}
+	// Collect the readers under the lock, read outside it: func-backed
+	// series (striped counters, merged histograms) may themselves take
+	// locks and must not run under r.mu.
+	r.mu.Lock()
+	var reads []reading
+	for name, f := range r.families {
+		for _, key := range f.order {
+			s := f.series[key]
+			rd := reading{name: name, labels: s.labels}
+			switch {
+			case s.c != nil:
+				rd.scalar = s.c.Value
+			case s.g != nil:
+				rd.scalar = s.g.Value
+			case s.cf != nil:
+				rd.scalar = s.cf
+			case s.gf != nil:
+				rd.scalar = s.gf
+			case s.h != nil:
+				rd.hist = s.h.Snapshot
+			case s.hf != nil:
+				rd.hist = s.hf
+			}
+			reads = append(reads, rd)
+		}
+	}
+	r.mu.Unlock()
+
+	out := make(map[string]int64, len(reads))
+	for _, rd := range reads {
+		key := rd.name + rd.labels
+		if rd.scalar != nil {
+			out[key] = rd.scalar()
+			continue
+		}
+		h := rd.hist()
+		out[key+":count"] = h.Count()
+		out[key+":sum"] = h.Sum()
+		out[key+":p50"] = h.Quantile(0.50)
+		out[key+":p99"] = h.Quantile(0.99)
+	}
+	return out
+}
+
+// Trigger is one anomaly detector evaluated against consecutive
+// registry snapshots. Fire returns a human-readable reason and true to
+// freeze the recorder's current window.
+type Trigger struct {
+	Name string
+	Fire func(prev, cur map[string]int64) (string, bool)
+}
+
+// GrowthTrigger fires when the value under key grows by at least min
+// between consecutive snapshots — the shape of every "this counter
+// should stay flat" anomaly (OPENFAILs, dropped events, tick overruns).
+func GrowthTrigger(name, key string, min int64) Trigger {
+	if min < 1 {
+		min = 1
+	}
+	return Trigger{Name: name, Fire: func(prev, cur map[string]int64) (string, bool) {
+		d := cur[key] - prev[key]
+		if d >= min {
+			return name + ": " + key + " grew", true
+		}
+		return "", false
+	}}
+}
+
+// RecorderConfig parameterizes a flight recorder.
+type RecorderConfig struct {
+	// Registry is the snapshot source (required).
+	Registry *Registry
+	// Capacity is the snapshot ring size (default DefaultRecorderCap).
+	Capacity int
+	// Interval is the snapshot cadence for Start (default 500ms).
+	Interval time.Duration
+	// Triggers are evaluated against each consecutive snapshot pair;
+	// the first that fires freezes the current window.
+	Triggers []Trigger
+}
+
+// DefaultRecorderCap is the snapshot ring capacity used when
+// RecorderConfig leaves Capacity unset.
+const DefaultRecorderCap = 240
+
+// Recorder is the flight recorder. Record (or the Start loop) appends
+// one registry snapshot per call; a firing trigger freezes a copy of
+// the ring and re-arms only after a full ring of further snapshots, so
+// one incident cannot churn the frozen window away. The nil *Recorder
+// is a valid no-op.
+type Recorder struct {
+	mu       sync.Mutex
+	reg      *Registry
+	interval time.Duration
+	triggers []Trigger
+
+	buf   []RegSnapshot // guarded by mu; insertion-ordered, wraps at cap
+	next  int           // guarded by mu
+	total uint64        // guarded by mu
+
+	frozen       []RegSnapshot // guarded by mu; window captured at the last trigger
+	frozenReason string        // guarded by mu
+	frozenAt     time.Time     // guarded by mu
+	rearmAt      uint64        // guarded by mu; suppress triggers until total reaches this
+
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewRecorder builds a recorder; call Start for the periodic loop or
+// Record directly for manual cadence (tests, one-shot tools).
+func NewRecorder(cfg RecorderConfig) *Recorder {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = DefaultRecorderCap
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	return &Recorder{
+		reg:      cfg.Registry,
+		interval: cfg.Interval,
+		triggers: cfg.Triggers,
+		buf:      make([]RegSnapshot, 0, cfg.Capacity),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// Start snapshots the registry every interval until Close.
+func (rec *Recorder) Start() {
+	if rec == nil {
+		return
+	}
+	go func() {
+		defer close(rec.done)
+		t := time.NewTicker(rec.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-rec.stop:
+				return
+			case <-t.C:
+				rec.Record()
+			}
+		}
+	}()
+}
+
+// Close stops the Start loop (if any) and takes one final snapshot so a
+// shutdown dump always carries the end state. It is idempotent.
+func (rec *Recorder) Close() {
+	if rec == nil {
+		return
+	}
+	rec.stopOnce.Do(func() {
+		close(rec.stop)
+		<-rec.done
+		rec.Record()
+	})
+}
+
+// Record takes one snapshot, appends it to the ring, and evaluates the
+// triggers against the previous snapshot.
+func (rec *Recorder) Record() {
+	if rec == nil {
+		return
+	}
+	snap := RegSnapshot{Time: time.Now(), Values: rec.reg.Snapshot()}
+
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	snap.Seq = rec.total
+	rec.total++
+	// Grab the previous snapshot's values before the insert can
+	// overwrite its slot (cap-1 rings).
+	var prev map[string]int64
+	if len(rec.buf) > 0 {
+		i := len(rec.buf) - 1
+		if len(rec.buf) == cap(rec.buf) {
+			if i = rec.next - 1; i < 0 {
+				i = len(rec.buf) - 1
+			}
+		}
+		prev = rec.buf[i].Values
+	}
+	if len(rec.buf) < cap(rec.buf) {
+		rec.buf = append(rec.buf, snap)
+	} else {
+		rec.buf[rec.next] = snap
+		rec.next = (rec.next + 1) % cap(rec.buf)
+	}
+	if prev == nil || rec.total <= rec.rearmAt {
+		return
+	}
+	for _, tr := range rec.triggers {
+		if tr.Fire == nil {
+			continue
+		}
+		if reason, fire := tr.Fire(prev, snap.Values); fire {
+			rec.freezeLocked(reason, snap.Time)
+			return
+		}
+	}
+}
+
+// Freeze captures the current window under an explicit reason — the
+// manual counterpart of a firing trigger.
+func (rec *Recorder) Freeze(reason string) {
+	if rec == nil {
+		return
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	rec.freezeLocked(reason, time.Now())
+}
+
+// freezeLocked copies the ring (oldest first) into the frozen window
+// and re-arms triggers one full ring later. Callers must hold rec.mu.
+func (rec *Recorder) freezeLocked(reason string, at time.Time) {
+	rec.frozen = rec.frozen[:0]
+	rec.frozen = append(rec.frozen, rec.buf[rec.next:]...)
+	rec.frozen = append(rec.frozen, rec.buf[:rec.next]...)
+	rec.frozenReason = reason
+	rec.frozenAt = at
+	rec.rearmAt = rec.total + uint64(cap(rec.buf))
+}
+
+// Frozen returns the frozen window (oldest first) and its reason, or
+// nil when no trigger has fired.
+func (rec *Recorder) Frozen() ([]RegSnapshot, string) {
+	if rec == nil {
+		return nil, ""
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return append([]RegSnapshot(nil), rec.frozen...), rec.frozenReason
+}
+
+// Total returns how many snapshots were ever recorded.
+func (rec *Recorder) Total() uint64 {
+	if rec == nil {
+		return 0
+	}
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	return rec.total
+}
+
+// recorderMeta is the header line of a JSONL snapshot dump.
+type recorderMeta struct {
+	RecorderMeta bool      `json:"recorder_meta"`
+	Total        uint64    `json:"total"`
+	Retained     int       `json:"retained"`
+	IntervalNs   int64     `json:"interval_ns"`
+	Frozen       int       `json:"frozen"`
+	Reason       string    `json:"reason,omitempty"`
+	FrozenAt     time.Time `json:"frozen_at,omitempty"`
+}
+
+// frozenSnap marks frozen-window lines in a dump.
+type frozenSnap struct {
+	RegSnapshot
+	Frozen bool `json:"frozen"`
+}
+
+// WriteJSONL dumps a recorder_meta header line, the frozen window (if a
+// trigger fired, each line marked "frozen":true), then the live ring,
+// all oldest first, one JSON object per line.
+func (rec *Recorder) WriteJSONL(w io.Writer) error {
+	if rec == nil {
+		return nil
+	}
+	rec.mu.Lock()
+	live := make([]RegSnapshot, 0, len(rec.buf))
+	live = append(live, rec.buf[rec.next:]...)
+	live = append(live, rec.buf[:rec.next]...)
+	frozen := append([]RegSnapshot(nil), rec.frozen...)
+	meta := recorderMeta{
+		RecorderMeta: true, Total: rec.total, Retained: len(live),
+		IntervalNs: int64(rec.interval), Frozen: len(frozen),
+		Reason: rec.frozenReason, FrozenAt: rec.frozenAt,
+	}
+	rec.mu.Unlock()
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(meta); err != nil {
+		return err
+	}
+	for _, s := range frozen {
+		if err := enc.Encode(frozenSnap{RegSnapshot: s, Frozen: true}); err != nil {
+			return err
+		}
+	}
+	for _, s := range live {
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestRegisterGoRuntimeExportsSeries(t *testing.T) {
+	reg := NewRegistry()
+	RegisterGoRuntime(reg)
+	// Force at least one GC so the pause histogram has samples to fold.
+	runtime.GC()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	for _, name := range []string{
+		"dynbw_go_goroutines",
+		"dynbw_go_heap_bytes",
+		"dynbw_go_gc_pause_ns_count",
+		"dynbw_go_sched_latency_ns_count",
+	} {
+		if !strings.Contains(body, name) {
+			t.Errorf("runtime exposition missing %s:\n%s", name, body)
+		}
+	}
+	snap := reg.Snapshot()
+	if g := snap["dynbw_go_goroutines"]; g < 1 {
+		t.Errorf("goroutines gauge = %d, want >= 1", g)
+	}
+	if h := snap["dynbw_go_heap_bytes"]; h <= 0 {
+		t.Errorf("heap gauge = %d, want > 0", h)
+	}
+	if c := snap["dynbw_go_gc_pause_ns:count"]; c < 1 {
+		t.Errorf("gc pause count = %d after runtime.GC, want >= 1", c)
+	}
+}
+
+func TestRegisterGoRuntimeNilRegistry(t *testing.T) {
+	// Must not panic: a nil registry means runtime export is disabled.
+	RegisterGoRuntime(nil)
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// span.go is the wire-path tracing half of the second observability
+// layer: a Sampler decides (at striped-atomic cost) which messages get a
+// full span, and a SpanRing retains the sampled spans for the admin
+// /spans endpoint. The unsampled path pays one striped counter add and
+// nothing else; stage latency structure for *every* message lives in
+// StripedHistograms owned by the instrumented component (the gateway's
+// dynbw_gateway_stage_ns), so sampling loses no aggregate information —
+// only the per-message join between stages that a span provides.
+
+// MaxSpanStages bounds the per-span stage vector so a Span is a flat
+// value type: recording a span never allocates, it copies one struct
+// into the ring.
+const MaxSpanStages = 8
+
+// Span is one traced message: a trace ID, the message kind, where it
+// ran, and how its wall time divided across the component's stages
+// (nanoseconds, in the ring's StageNames order). Client is true when the
+// trace ID arrived from the peer (a TRACE-enveloped wire message) rather
+// than from local sampling.
+type Span struct {
+	Trace   uint64    `json:"trace"`
+	Kind    string    `json:"kind"`
+	Shard   int       `json:"shard"`
+	Session int       `json:"session"`
+	Time    time.Time `json:"time"`
+	TotalNs int64     `json:"total_ns"`
+	Client  bool      `json:"client,omitempty"`
+	Err     string    `json:"err,omitempty"`
+	// Stages holds per-stage nanoseconds; entries past the ring's stage
+	// count are zero and omitted from dumps.
+	Stages [MaxSpanStages]int64 `json:"-"`
+}
+
+// SpanRing is a fixed-size ring of sampled spans, named per stage at
+// construction so dumps label the stage vector. Push copies the span by
+// value (no allocation); when full the oldest span is overwritten and
+// counted as dropped. The nil *SpanRing is a valid no-op, so span
+// recording can be left unconfigured.
+type SpanRing struct {
+	mu      sync.Mutex
+	names   []string
+	buf     []Span // guarded by mu; insertion-ordered, wraps at cap
+	next    int    // guarded by mu; overwrite cursor once full
+	total   uint64 // guarded by mu
+	dropped uint64 // guarded by mu; spans overwritten before any dump or drain
+	traces  atomic.Uint64
+}
+
+// DefaultSpanRingSize is the span capacity used when NewSpanRing is
+// given a non-positive size.
+const DefaultSpanRingSize = 2048
+
+// NewSpanRing returns a ring holding the last n spans whose stage
+// vectors are labeled by stageNames (at most MaxSpanStages are kept).
+func NewSpanRing(n int, stageNames []string) *SpanRing {
+	if n <= 0 {
+		n = DefaultSpanRingSize
+	}
+	if len(stageNames) > MaxSpanStages {
+		stageNames = stageNames[:MaxSpanStages]
+	}
+	return &SpanRing{
+		names: append([]string(nil), stageNames...),
+		buf:   make([]Span, 0, n),
+	}
+}
+
+// StageNames returns the stage labels dumps use for the stage vector.
+func (r *SpanRing) StageNames() []string {
+	if r == nil {
+		return nil
+	}
+	return r.names
+}
+
+// NextTrace mints a locally unique trace ID for a sampled span. IDs are
+// tagged with the stripe in the high byte so a merged dump shows where a
+// span was sampled even before reading it.
+func (r *SpanRing) NextTrace(stripe int) uint64 {
+	if r == nil {
+		return 0
+	}
+	return uint64(stripe&0x7f)<<56 | r.traces.Add(1)
+}
+
+// Push appends one span, stamping its time when unset and overwriting
+// the oldest span once the ring is full.
+func (r *SpanRing) Push(s Span) {
+	if r == nil {
+		return
+	}
+	if s.Time.IsZero() {
+		s.Time = time.Now()
+	}
+	r.mu.Lock()
+	r.total++
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, s)
+	} else {
+		r.buf[r.next] = s
+		r.next = (r.next + 1) % cap(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Total returns how many spans have ever been pushed.
+func (r *SpanRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many spans were overwritten before any dump or
+// drain could retain them.
+func (r *SpanRing) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot returns the retained spans, oldest first.
+func (r *SpanRing) Snapshot() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	return append(out, r.buf[:r.next]...)
+}
+
+// Drain returns the retained spans, oldest first, and empties the ring
+// (capacity kept). Pollers that must not re-read spans use Drain;
+// dashboards that only peek use Snapshot.
+func (r *SpanRing) Drain() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Span, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	r.buf = r.buf[:0]
+	r.next = 0
+	return out
+}
+
+// spanMeta is the header line of a JSONL span dump.
+type spanMeta struct {
+	SpanMeta bool     `json:"span_meta"`
+	Total    uint64   `json:"total"`
+	Retained int      `json:"retained"`
+	Dropped  uint64   `json:"dropped"`
+	Stages   []string `json:"stages"`
+}
+
+// spanJSON renders one span with its stage vector as a name→ns object.
+type spanJSON struct {
+	Span
+	StageNs map[string]int64 `json:"stage_ns"`
+}
+
+// WriteJSONL dumps a span_meta header line (total/retained/dropped and
+// the stage names) followed by the retained spans, oldest first, one
+// JSON object per line with the stage vector rendered by name.
+func (r *SpanRing) WriteJSONL(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	spans := r.Snapshot()
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(spanMeta{
+		SpanMeta: true, Total: r.Total(), Retained: len(spans),
+		Dropped: r.Dropped(), Stages: r.names,
+	}); err != nil {
+		return err
+	}
+	for _, s := range spans {
+		out := spanJSON{Span: s, StageNs: make(map[string]int64, len(r.names))}
+		for i, name := range r.names {
+			out.StageNs[name] = s.Stages[i]
+		}
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Instrument exports the ring's totals on reg: dynbw_spans_total and
+// dynbw_spans_dropped_total, read at scrape time.
+func (r *SpanRing) Instrument(reg *Registry) {
+	if r == nil {
+		return
+	}
+	reg.CounterFunc("dynbw_spans_total", "Wire-path spans sampled into the span ring.",
+		func() int64 { return int64(r.Total()) })
+	reg.CounterFunc("dynbw_spans_dropped_total", "Sampled spans overwritten (lost) before being dumped.",
+		func() int64 { return int64(r.Dropped()) })
+}
+
+// Sampler is a 1-in-N decision maker for span tracing: Hit increments a
+// lock-striped counter and reports true on every N-th call per stripe,
+// so the unsampled path costs one uncontended atomic add and the
+// decision needs no randomness (deterministic under test). The nil
+// *Sampler is a valid no-op that never samples.
+type Sampler struct {
+	every   uint64
+	stripes []stripe64
+}
+
+// DefaultSampleEvery is the sampling period used when NewSampler is
+// given a non-positive period.
+const DefaultSampleEvery = 1024
+
+// NewSampler returns a sampler firing every n-th Hit per stripe
+// (minimum 1 stripe; a non-positive n uses DefaultSampleEvery, and
+// n == 1 samples everything).
+func NewSampler(n uint64, stripes int) *Sampler {
+	if n == 0 {
+		n = DefaultSampleEvery
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &Sampler{every: n, stripes: make([]stripe64, stripes)}
+}
+
+// Hit counts one event on the given stripe (reduced modulo the stripe
+// count) and reports whether it should be sampled.
+func (s *Sampler) Hit(stripe int) bool {
+	if s == nil {
+		return false
+	}
+	n := s.stripes[uint(stripe)%uint(len(s.stripes))].v.Add(1)
+	return uint64(n)%s.every == 0
+}
+
+// Every returns the sampling period (0 for the nil no-op sampler).
+func (s *Sampler) Every() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.every
+}

@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanRingRetainsAndWraps(t *testing.T) {
+	r := NewSpanRing(4, []string{"read", "write"})
+	for i := 0; i < 6; i++ {
+		r.Push(Span{Trace: uint64(i + 1), Kind: "data", Stages: [MaxSpanStages]int64{10, 20}})
+	}
+	if got := r.Total(); got != 6 {
+		t.Fatalf("Total = %d, want 6", got)
+	}
+	if got := r.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("Snapshot len = %d, want 4", len(snap))
+	}
+	for i, s := range snap {
+		if want := uint64(i + 3); s.Trace != want {
+			t.Errorf("snap[%d].Trace = %d, want %d (oldest first)", i, s.Trace, want)
+		}
+		if s.Time.IsZero() {
+			t.Errorf("snap[%d].Time unset", i)
+		}
+	}
+}
+
+func TestSpanRingWriteJSONL(t *testing.T) {
+	r := NewSpanRing(8, []string{"read", "dispatch", "apply", "write"})
+	r.Push(Span{Trace: 7, Kind: "stats", Shard: 2, Session: 11, TotalNs: 100,
+		Stages: [MaxSpanStages]int64{40, 10, 30, 20}})
+	var b strings.Builder
+	if err := r.WriteJSONL(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want meta + 1 span:\n%s", len(lines), b.String())
+	}
+	var meta struct {
+		SpanMeta bool     `json:"span_meta"`
+		Total    uint64   `json:"total"`
+		Retained int      `json:"retained"`
+		Stages   []string `json:"stages"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if !meta.SpanMeta || meta.Total != 1 || meta.Retained != 1 || len(meta.Stages) != 4 {
+		t.Errorf("meta = %+v", meta)
+	}
+	var span struct {
+		Trace   uint64           `json:"trace"`
+		Kind    string           `json:"kind"`
+		TotalNs int64            `json:"total_ns"`
+		StageNs map[string]int64 `json:"stage_ns"`
+	}
+	if err := json.Unmarshal([]byte(lines[1]), &span); err != nil {
+		t.Fatal(err)
+	}
+	if span.Trace != 7 || span.Kind != "stats" || span.TotalNs != 100 {
+		t.Errorf("span = %+v", span)
+	}
+	if span.StageNs["read"] != 40 || span.StageNs["dispatch"] != 10 ||
+		span.StageNs["apply"] != 30 || span.StageNs["write"] != 20 {
+		t.Errorf("stage_ns = %v", span.StageNs)
+	}
+}
+
+func TestSpanRingDrain(t *testing.T) {
+	r := NewSpanRing(4, nil)
+	for i := 0; i < 3; i++ {
+		r.Push(Span{Trace: uint64(i)})
+	}
+	got := r.Drain()
+	if len(got) != 3 {
+		t.Fatalf("Drain len = %d, want 3", len(got))
+	}
+	if again := r.Drain(); len(again) != 0 {
+		t.Fatalf("second Drain returned %d spans, want 0", len(again))
+	}
+	// The ring keeps its capacity and stays usable after a drain.
+	r.Push(Span{Trace: 9})
+	if snap := r.Snapshot(); len(snap) != 1 || snap[0].Trace != 9 {
+		t.Fatalf("post-drain Snapshot = %+v", snap)
+	}
+	if r.Total() != 4 {
+		t.Fatalf("Total = %d, want 4", r.Total())
+	}
+}
+
+// TestSpanRingConcurrentSampleDrain races pushers against drains and
+// snapshot dumps — the live /spans serving pattern — and checks no span
+// is both drained twice and none disappears beyond ring capacity.
+func TestSpanRingConcurrentSampleDrain(t *testing.T) {
+	const (
+		pushers  = 4
+		perG     = 500
+		capacity = 64
+	)
+	r := NewSpanRing(capacity, []string{"read"})
+	var wg sync.WaitGroup
+	for w := 0; w < pushers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				r.Push(Span{Trace: uint64(w*perG + i + 1), Kind: "data"})
+			}
+		}(w)
+	}
+	seen := make(map[uint64]int)
+	var seenMu sync.Mutex
+	stop := make(chan struct{})
+	var drainers sync.WaitGroup
+	drainers.Add(2)
+	go func() {
+		defer drainers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range r.Drain() {
+				seenMu.Lock()
+				seen[s.Trace]++
+				seenMu.Unlock()
+			}
+		}
+	}()
+	go func() {
+		defer drainers.Done()
+		var b strings.Builder
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b.Reset()
+			if err := r.WriteJSONL(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	drainers.Wait()
+	for _, s := range r.Drain() {
+		seen[s.Trace]++
+	}
+	for trace, n := range seen {
+		if n != 1 {
+			t.Fatalf("trace %d drained %d times", trace, n)
+		}
+	}
+	total, dropped := r.Total(), r.Dropped()
+	if total != pushers*perG {
+		t.Fatalf("Total = %d, want %d", total, pushers*perG)
+	}
+	if got := uint64(len(seen)) + dropped; got != total {
+		t.Fatalf("drained %d + dropped %d != total %d", len(seen), dropped, total)
+	}
+}
+
+func TestSpanRingNilSafe(t *testing.T) {
+	var r *SpanRing
+	r.Push(Span{Trace: 1})
+	if r.Total() != 0 || r.Dropped() != 0 || r.Snapshot() != nil || r.Drain() != nil {
+		t.Error("nil SpanRing retained state")
+	}
+	if r.StageNames() != nil || r.NextTrace(3) != 0 {
+		t.Error("nil SpanRing returned non-zero metadata")
+	}
+	if err := r.WriteJSONL(&strings.Builder{}); err != nil {
+		t.Errorf("nil SpanRing WriteJSONL: %v", err)
+	}
+	r.Instrument(nil)
+}
+
+func TestSamplerHitsEveryN(t *testing.T) {
+	s := NewSampler(4, 2)
+	hits := 0
+	for i := 0; i < 40; i++ {
+		if s.Hit(0) {
+			hits++
+		}
+	}
+	if hits != 10 {
+		t.Errorf("stripe 0: %d hits over 40 calls at 1-in-4, want 10", hits)
+	}
+	// Stripes count independently.
+	if s.Hit(1) || s.Hit(1) || s.Hit(1) {
+		t.Error("stripe 1 sampled before its 4th hit")
+	}
+	if !s.Hit(1) {
+		t.Error("stripe 1 did not sample on its 4th hit")
+	}
+	if s.Every() != 4 {
+		t.Errorf("Every = %d, want 4", s.Every())
+	}
+}
+
+func TestSamplerEveryOneSamplesAll(t *testing.T) {
+	s := NewSampler(1, 1)
+	for i := 0; i < 5; i++ {
+		if !s.Hit(0) {
+			t.Fatalf("call %d not sampled at 1-in-1", i)
+		}
+	}
+}
+
+func TestSamplerNilSafe(t *testing.T) {
+	var s *Sampler
+	if s.Hit(0) {
+		t.Error("nil Sampler sampled")
+	}
+	if s.Every() != 0 {
+		t.Error("nil Sampler reported a period")
+	}
+}
+
+func TestSpanRingNextTraceTagsStripe(t *testing.T) {
+	r := NewSpanRing(4, nil)
+	a, b := r.NextTrace(3), r.NextTrace(3)
+	if a == b {
+		t.Fatal("trace IDs not unique")
+	}
+	if a>>56 != 3 || b>>56 != 3 {
+		t.Errorf("stripe tag lost: %x %x", a, b)
+	}
+}
+
+func TestSpanRingInstrument(t *testing.T) {
+	reg := NewRegistry()
+	r := NewSpanRing(2, nil)
+	r.Instrument(reg)
+	for i := 0; i < 3; i++ {
+		r.Push(Span{Trace: uint64(i)})
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	body := b.String()
+	if !strings.Contains(body, "dynbw_spans_total 3") ||
+		!strings.Contains(body, "dynbw_spans_dropped_total 1") {
+		t.Errorf("span ring exposition:\n%s", body)
+	}
+}

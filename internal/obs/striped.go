@@ -96,6 +96,16 @@ func (s *StripedHistogram) Observe(stripe int, v int64) {
 	s.stripes[uint(stripe)%uint(len(s.stripes))].Observe(v)
 }
 
+// StripeSnapshot returns a point-in-time copy of one stripe (reduced
+// modulo the stripe count) — the per-shard view behind shard-labeled
+// histogram series (per-shard tick profiles).
+func (s *StripedHistogram) StripeSnapshot(stripe int) metrics.Histogram {
+	if s == nil {
+		return metrics.Histogram{}
+	}
+	return s.stripes[uint(stripe)%uint(len(s.stripes))].Snapshot()
+}
+
 // Snapshot merges every stripe into one point-in-time histogram.
 func (s *StripedHistogram) Snapshot() metrics.Histogram {
 	if s == nil {

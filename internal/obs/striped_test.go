@@ -211,3 +211,104 @@ func TestRingInstrumentExportsDrops(t *testing.T) {
 		t.Errorf("instrumented ring exposition:\n%s", body)
 	}
 }
+
+// TestStripedConcurrentEmitScrape races stripe writers against merged
+// reads — the live /metrics scrape pattern, where HistogramFunc merges
+// stripes while shard workers are still observing.
+func TestStripedConcurrentEmitScrape(t *testing.T) {
+	const writers, perG = 4, 2000
+	c := NewStriped(writers)
+	h := NewStripedHistogram(writers)
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if c.Value() < 0 {
+				t.Error("merged counter went negative")
+				return
+			}
+			snap := h.Snapshot()
+			if snap.Count() < 0 || snap.Sum() < 0 {
+				t.Error("merged histogram snapshot inconsistent")
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc(w)
+				h.Observe(w, int64(i%100+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	if got := c.Value(); got != writers*perG {
+		t.Errorf("counter Value = %d, want %d", got, writers*perG)
+	}
+	if snap := h.Snapshot(); snap.Count() != writers*perG {
+		t.Errorf("histogram Count = %d, want %d", snap.Count(), writers*perG)
+	}
+}
+
+// TestShardedRingConcurrentEmitScrape races per-stripe emitters against
+// merged Snapshot/WriteJSONL dumps (the /events serving pattern).
+func TestShardedRingConcurrentEmitScrape(t *testing.T) {
+	const stripes, perG = 4, 1000
+	r := NewShardedRing(stripes, 32)
+	stop := make(chan struct{})
+	var scrapers sync.WaitGroup
+	scrapers.Add(1)
+	go func() {
+		defer scrapers.Done()
+		var b strings.Builder
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			for i := 1; i < len(snap); i++ {
+				if snap[i].Seq < snap[i-1].Seq {
+					t.Errorf("merged snapshot out of order at %d", i)
+					return
+				}
+			}
+			b.Reset()
+			if err := r.WriteJSONL(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < stripes; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			obsr := r.Stripe(w)
+			for i := 0; i < perG; i++ {
+				obsr.Event(Event{Type: EventSessionOpen, Session: w*perG + i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	scrapers.Wait()
+	if got := r.Total(); got != stripes*perG {
+		t.Errorf("Total = %d, want %d", got, stripes*perG)
+	}
+}
