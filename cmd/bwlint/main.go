@@ -4,12 +4,17 @@
 //
 // Usage:
 //
-//	bwlint [-checks list] [-json] [-list] [patterns ...]
+//	bwlint [-checks list] [-json] [-sarif] [-github] [-list] [-v] [patterns ...]
 //
 // Patterns are package directories relative to the module root, with
-// "./..." expansion; the default is the whole module. The exit code is
-// 0 when clean, 1 when findings were reported, 2 on usage or load
-// errors — so CI can gate merges on `go run ./cmd/bwlint ./...`.
+// "./..." expansion; the default is the whole module. Output is text
+// (file:line:col), -json (a findings array), -sarif (a SARIF 2.1.0 log
+// for code-scanning upload), or -github (::error workflow-command
+// annotations so findings surface inline on pull requests). -v prints
+// load/analysis timing and each check's escape-hatch statistics to
+// stderr. The exit code is 0 when clean, 1 when findings were
+// reported, 2 on usage or load errors — so CI can gate merges on
+// `go run ./cmd/bwlint ./...`.
 package main
 
 import (
@@ -18,6 +23,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
 	"dynbw/internal/lint"
 )
@@ -33,20 +40,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		checksFlag = fs.String("checks", "", "comma-separated check names to run (default: all)")
 		jsonFlag   = fs.Bool("json", false, "emit findings as a JSON array instead of text")
+		sarifFlag  = fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log instead of text")
+		githubFlag = fs.Bool("github", false, "emit findings as GitHub ::error workflow commands instead of text")
 		listFlag   = fs.Bool("list", false, "list available checks and exit")
+		verbose    = fs.Bool("v", false, "print timing and check statistics to stderr")
 	)
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: bwlint [-checks list] [-json] [-list] [patterns ...]\n")
+		fmt.Fprintf(stderr, "usage: bwlint [-checks list] [-json] [-sarif] [-github] [-list] [-v] [patterns ...]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if nOut := countTrue(*jsonFlag, *sarifFlag, *githubFlag); nOut > 1 {
+		fmt.Fprintln(stderr, "bwlint: -json, -sarif and -github are mutually exclusive")
 		return 2
 	}
 
 	checks := lint.Checks()
 	if *listFlag {
 		for _, c := range checks {
-			fmt.Fprintf(stdout, "%-16s %s\n", c.Name(), c.Doc())
+			fmt.Fprintf(stdout, "%-18s %s\n", c.Name(), c.Doc())
 		}
 		return 0
 	}
@@ -67,13 +81,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	findings, err := lint.Run(root, fs.Args(), checks)
+	// One load serves every check and output format; -v reports how the
+	// wall clock split between type-checking and analysis.
+	loadStart := time.Now()
+	prog, err := lint.LoadProgram(root, fs.Args())
 	if err != nil {
 		fmt.Fprintln(stderr, "bwlint:", err)
 		return 2
 	}
+	loadDur := time.Since(loadStart)
+	checkStart := time.Now()
+	findings := lint.RunProgram(prog, checks)
+	checkDur := time.Since(checkStart)
 
-	if *jsonFlag {
+	if *verbose {
+		fmt.Fprintf(stderr, "bwlint: loaded %d packages in %v, ran %d checks in %v: %d finding(s)\n",
+			len(prog.Pkgs), loadDur.Round(time.Millisecond), len(checks),
+			checkDur.Round(time.Millisecond), len(findings))
+		for _, c := range checks {
+			if s, ok := c.(lint.Stater); ok {
+				fmt.Fprintf(stderr, "bwlint: %s: %s\n", c.Name(), s.Stats())
+			}
+		}
+	}
+
+	switch {
+	case *jsonFlag:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -83,7 +116,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "bwlint:", err)
 			return 2
 		}
-	} else {
+	case *sarifFlag:
+		if err := lint.WriteSARIF(stdout, root, checks, findings); err != nil {
+			fmt.Fprintln(stderr, "bwlint:", err)
+			return 2
+		}
+	case *githubFlag:
+		for _, f := range findings {
+			fmt.Fprintf(stdout, "::error file=%s,line=%d,col=%d::[%s] %s\n",
+				lint.RelPath(root, f.File), f.Line, f.Col, f.Check, githubEscape(f.Message))
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(stdout, f)
 		}
@@ -93,3 +136,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	return 0
 }
+
+func countTrue(bs ...bool) int {
+	n := 0
+	for _, b := range bs {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// githubEscaper encodes the characters the workflow-command parser
+// treats as delimiters in the message data portion.
+var githubEscaper = strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A")
+
+func githubEscape(s string) string { return githubEscaper.Replace(s) }

@@ -3,6 +3,7 @@ package main
 import (
 	"encoding/json"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
@@ -66,6 +67,114 @@ func TestJSONOutput(t *testing.T) {
 		if f.Check != "nil-safe" || f.Line == 0 || f.File == "" {
 			t.Errorf("malformed finding: %+v", f)
 		}
+	}
+}
+
+func TestSARIFOutput(t *testing.T) {
+	dir := filepath.Join("internal", "lint", "testdata", "src", "units")
+	var out, errOut strings.Builder
+	code := run([]string{"-sarif", "-checks", "unit-hygiene", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Level     string `json:"level"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+						Region struct {
+							StartLine int `json:"startLine"`
+						} `json:"region"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &log); err != nil {
+		t.Fatalf("output is not a SARIF log: %v\n%s", err, out.String())
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("SARIF log has %d runs, want 1", len(log.Runs))
+	}
+	sr := log.Runs[0]
+	if sr.Tool.Driver.Name != "bwlint" {
+		t.Errorf("driver name = %q, want bwlint", sr.Tool.Driver.Name)
+	}
+	if len(sr.Tool.Driver.Rules) != 1 || sr.Tool.Driver.Rules[0].ID != "unit-hygiene" {
+		t.Errorf("rules = %+v, want exactly unit-hygiene", sr.Tool.Driver.Rules)
+	}
+	if len(sr.Results) == 0 {
+		t.Fatal("SARIF log has no results")
+	}
+	for _, r := range sr.Results {
+		if r.RuleID != "unit-hygiene" || r.Level != "error" {
+			t.Errorf("malformed result: %+v", r)
+		}
+		loc := r.Locations[0].PhysicalLocation
+		if filepath.IsAbs(loc.ArtifactLocation.URI) || strings.Contains(loc.ArtifactLocation.URI, "\\") {
+			t.Errorf("artifact URI not root-relative slash form: %q", loc.ArtifactLocation.URI)
+		}
+		if loc.Region.StartLine == 0 {
+			t.Errorf("result missing startLine: %+v", r)
+		}
+	}
+}
+
+func TestGitHubOutput(t *testing.T) {
+	dir := filepath.Join("internal", "lint", "testdata", "src", "units")
+	var out, errOut strings.Builder
+	code := run([]string{"-github", "-checks", "unit-hygiene", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1; stderr: %s", code, errOut.String())
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	annRe := regexp.MustCompile(`^::error file=internal/lint/testdata/src/units/[^,]+\.go,line=\d+,col=\d+::\[unit-hygiene\] `)
+	for _, line := range lines {
+		if !annRe.MatchString(line) {
+			t.Errorf("line is not a workflow-command annotation: %q", line)
+		}
+	}
+}
+
+func TestExclusiveOutputFlags(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-json", "-sarif"}, &out, &errOut); code != 2 {
+		t.Errorf("-json -sarif exited %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "mutually exclusive") {
+		t.Errorf("stderr missing diagnosis: %s", errOut.String())
+	}
+}
+
+func TestVerboseTiming(t *testing.T) {
+	dir := filepath.Join("internal", "lint", "testdata", "src", "hotpath")
+	var out, errOut strings.Builder
+	code := run([]string{"-v", "-checks", "hotpath", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exited %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !regexp.MustCompile(`bwlint: loaded \d+ packages in .+, ran 1 checks in .+: \d+ finding\(s\)`).MatchString(errOut.String()) {
+		t.Errorf("stderr missing timing line:\n%s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "bwlint:allocok escape(s) in effect") {
+		t.Errorf("stderr missing hotpath Stats line:\n%s", errOut.String())
 	}
 }
 

@@ -15,6 +15,8 @@
 //	bwmulti -policy combined -k 4 -ba 512 -uo 0.25
 //	bwmulti -policy continuous -trace sessions.csv -bo 64
 //	bwmulti -policy phased,continuous,combined -k 8 -j 3
+//
+// bwlint:deterministic
 package main
 
 import (

@@ -7,6 +7,8 @@
 //	bwsim -policy single -workload onoff -ticks 2000
 //	bwsim -policy pertick -trace demand.csv
 //	bwsim -policy modified -workload pareto -ba 512 -do 16 -uo 0.25 -w 32
+//
+// bwlint:deterministic
 package main
 
 import (

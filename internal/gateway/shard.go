@@ -40,8 +40,8 @@ type shard struct {
 
 	// Tick-only scratch: touched exclusively by the one tick worker
 	// processing this shard in a given round, never concurrently.
-	arrived []bw.Bits
-	queued  []bw.Bits
+	arrived []bw.Bits // confined to shard.tick
+	queued  []bw.Bits // confined to shard.tick
 }
 
 // newShard builds the slot state for n slots starting at global index
@@ -119,7 +119,7 @@ func (sh *shard) openRouted() (int, error) {
 	sh.used[slot] = true
 	sh.inUse++
 	sh.slotExt[slot] = ext
-	sh.extSlot[ext] = slot
+	sh.extSlot[ext] = slot // bwlint:allocok OPEN only, bounded by the slot limit
 	return ext, nil
 }
 
@@ -185,7 +185,7 @@ func (sh *shard) rebalance() {
 			// The router admitted the move, so its slot accounting says
 			// there is room; a full link here means the two views diverged.
 			sh.g.log.Log(slog.LevelWarn, "rebalance", "gateway: no free slot on rebalance target",
-				"session", mv.Session, "to", int(mv.To))
+				"session", mv.Session, "to", int(mv.To)) // bwlint:allocok cold: router/shard divergence, rate-limited warn
 			continue
 		}
 		sh.queues[dst] = sh.queues[src]
@@ -194,6 +194,6 @@ func (sh *shard) rebalance() {
 		sh.pending[src] = 0
 		sh.used[src], sh.used[dst] = false, true
 		sh.slotExt[src], sh.slotExt[dst] = -1, mv.Session
-		sh.extSlot[mv.Session] = dst
+		sh.extSlot[mv.Session] = dst // bwlint:allocok key already present, no table growth
 	}
 }

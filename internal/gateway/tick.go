@@ -117,6 +117,8 @@ func (g *Gateway) shardRound(sh *shard, t bw.Tick) {
 // paper's cost measure. In multi-link mode (one shard, several links)
 // each allocator sees only its own slot range, and every rebalEvery
 // ticks a rebalance pass may migrate sessions between links.
+//
+// bwlint:hotpath
 func (sh *shard) tick(t bw.Tick) (arrivedBits, servedBits bw.Bits, changes int64) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

@@ -185,6 +185,8 @@ func (g *Gateway) releaseSession(id int) {
 // failure or protocol violation) means the connection must be dropped.
 // The function is the entire wire-facing surface of the gateway and is
 // fuzzed by FuzzHandleMessage.
+//
+// bwlint:hotpath
 func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
 	var typ [1]byte
 	if _, err := io.ReadFull(r, typ[:]); err != nil {
@@ -204,6 +206,7 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
 			return err
 		}
 		if typ[0] == typeTrace {
+			// bwlint:allocok cold: protocol violation drops the connection
 			return fmt.Errorf("%w: nested TRACE envelope", errProtocol)
 		}
 	}
@@ -216,6 +219,8 @@ func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
 
 // applyMessage dispatches one message whose type byte has been read,
 // marking the wire-path stages on cs's span clock as it goes.
+//
+// bwlint:hotpath
 func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte) error {
 	switch typ {
 	case typeOpen:
@@ -227,13 +232,14 @@ func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte
 			// connection so it can retry after backoff.
 			g.m.openFails.Inc()
 			g.emitAt(cs.stripe, obs.Event{Type: obs.EventOpenFail, Session: -1})
+			// bwlint:allocok cold: open-fail reply, off the steady-state DATA path
 			if _, werr := w.Write([]byte{typeOpenFail}); werr != nil {
 				return werr
 			}
 			g.spanMark(cs, stageWrite)
 			return nil
 		}
-		cs.owned[id] = struct{}{}
+		cs.owned[id] = struct{}{} // bwlint:allocok OPEN only, bounded by the slot limit
 		cs.span.sess = id
 		g.emitAt(g.shardOf(id).idx, obs.Event{Type: obs.EventSessionOpen, Session: id})
 		var reply [5]byte
@@ -252,6 +258,7 @@ func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte
 		id := int(binary.BigEndian.Uint32(body[0:]))
 		bits := int64(binary.BigEndian.Uint64(body[4:]))
 		if _, ok := cs.owned[id]; !ok || bits < 0 {
+			// bwlint:allocok cold: protocol violation drops the connection
 			return fmt.Errorf("%w: DATA session=%d bits=%d (owns %d sessions)", errProtocol, id, bits, len(cs.owned))
 		}
 		cs.span.sess = id
@@ -269,6 +276,7 @@ func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte
 		g.spanMark(cs, stageRead)
 		id := int(binary.BigEndian.Uint32(body[:]))
 		if _, ok := cs.owned[id]; !ok {
+			// bwlint:allocok cold: protocol violation drops the connection
 			return fmt.Errorf("%w: STATS session=%d (owns %d sessions)", errProtocol, id, len(cs.owned))
 		}
 		cs.span.sess = id
@@ -300,6 +308,7 @@ func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte
 		g.spanMark(cs, stageRead)
 		id := int(binary.BigEndian.Uint32(body[:]))
 		if _, ok := cs.owned[id]; !ok {
+			// bwlint:allocok cold: protocol violation drops the connection
 			return fmt.Errorf("%w: CLOSE session=%d (owns %d sessions)", errProtocol, id, len(cs.owned))
 		}
 		cs.span.sess = id
@@ -309,11 +318,13 @@ func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte
 		delete(cs.owned, id)
 		g.emitAt(g.shardOf(id).idx, obs.Event{Type: obs.EventSessionClose, Session: id})
 		g.spanMark(cs, stageApply)
+		// bwlint:allocok cold: CLOSE reply, once per session lifetime
 		if _, err := w.Write([]byte{typeClosed}); err != nil {
 			return err
 		}
 		g.spanMark(cs, stageWrite)
 	default:
+		// bwlint:allocok cold: protocol violation drops the connection
 		return fmt.Errorf("%w: unknown message type %d", errProtocol, typ)
 	}
 	return nil

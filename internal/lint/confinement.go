@@ -1,0 +1,295 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ShardConfinement machine-checks the sharded gateway's strongest
+// concurrency claim: some state needs no lock at all because exactly one
+// goroutine context ever touches it (a shard's tick-only scratch, a
+// connection handler's session table). The convention is a field
+// comment naming the owning entry point:
+//
+//	arrived []bw.Bits // confined to shard.tick
+//	owned   map[int]struct{} // confined to Gateway.handle
+//
+// The annotated field may then only be accessed
+//
+//   - inside the entry function itself or its spawn-free call closure
+//     (functions reached from the entry without crossing a go statement
+//     or a worker-pool submit — those start a new goroutine and leave
+//     the confinement region),
+//   - in a constructor of the owning struct (the value is not shared
+//     yet), or
+//   - with the owning struct's mutex exclusively held (Lock, not
+//     RLock), the escape valve for setup/teardown paths.
+//
+// Two violations follow from the model: an access in a function outside
+// the entry closure, and an access in a function that is *inside* the
+// closure but also reachable from outside it — shared helpers silently
+// bridge the confined state to foreign goroutines, which is exactly the
+// data race the annotation exists to prevent. Accesses inside goroutine
+// bodies spawned within the region are likewise outside it.
+//
+// Like guarded-by, the analysis is containment-based, intra-module, and
+// stops at dynamic dispatch; it errs toward false negatives, never
+// toward noise.
+type ShardConfinement struct{}
+
+// NewShardConfinement returns the check (annotation-driven).
+func NewShardConfinement() *ShardConfinement { return &ShardConfinement{} }
+
+// Name implements Check.
+func (*ShardConfinement) Name() string { return "shard-confinement" }
+
+// Doc implements Check.
+func (*ShardConfinement) Doc() string {
+	return `fields annotated "confined to <entry>" may only be touched in the entry's spawn-free call closure, constructors, or under the owner's mutex`
+}
+
+// confinedRe accepts "confined to tick" (a method of the owning struct)
+// or "confined to Gateway.handle" (an entry on another type).
+var confinedRe = regexp.MustCompile(`confined to ((?:[A-Za-z_]\w*\.)?[A-Za-z_]\w*)`)
+
+// confInfo describes one confined field.
+type confInfo struct {
+	structName string
+	fieldName  string
+	entry      string // annotation text, possibly Type-qualified
+	mutex      string // owning struct's mutex field, "" when none
+}
+
+// Run implements Check.
+func (c *ShardConfinement) Run(prog *Program, report Reporter) {
+	graph := prog.CallGraph()
+	for _, pkg := range prog.Pkgs {
+		c.runPackage(prog, graph, pkg, report)
+	}
+}
+
+func (c *ShardConfinement) runPackage(prog *Program, graph *CallGraph, pkg *Package, report Reporter) {
+	confined := map[types.Object]confInfo{}
+	// entries maps annotation text to the resolved entry node, nil when
+	// unresolved (already reported).
+	entries := map[string]*FuncNode{}
+
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			var mutex string
+			for _, fld := range st.Fields.List {
+				if isMutexType(fld.Type) && len(fld.Names) > 0 {
+					mutex = fld.Names[0].Name
+				}
+			}
+			for _, fld := range st.Fields.List {
+				entry := fieldConfAnnotation(fld)
+				if entry == "" {
+					continue
+				}
+				if _, seen := entries[entry]; !seen {
+					node := resolveEntry(graph, pkg, ts.Name.Name, entry)
+					entries[entry] = node
+					if node == nil {
+						report(fld.Pos(), "field %s.%s is confined to %q, but the package has no such function or method",
+							ts.Name.Name, fieldNames(fld), entry)
+					}
+				}
+				if entries[entry] == nil {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						confined[obj] = confInfo{
+							structName: ts.Name.Name,
+							fieldName:  name.Name,
+							entry:      entry,
+							mutex:      mutex,
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(confined) == 0 {
+		return
+	}
+
+	// The confinement region of each entry: its spawn-free call closure.
+	regions := map[string]map[*FuncNode]bool{}
+	for entry, node := range entries {
+		if node != nil {
+			regions[entry] = spawnFreeClosure(node)
+		}
+	}
+	// Reverse call edges over the whole graph, for the shared-helper
+	// rule (built once per package that has confined fields).
+	callers := map[*FuncNode][]*FuncNode{}
+	for _, n := range graph.Nodes() {
+		for _, callee := range n.Callees {
+			callers[callee] = append(callers[callee], n)
+		}
+	}
+
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			node := graph.Lookup(nodeKey(pkg.ImportPath, fd))
+			c.checkBody(pkg, fd, node, confined, entries, regions, callers, report)
+		}
+	}
+}
+
+// checkBody reports confined-field accesses in one function that fall
+// outside every legal context.
+func (c *ShardConfinement) checkBody(pkg *Package, fd *ast.FuncDecl, node *FuncNode,
+	confined map[types.Object]confInfo, entries map[string]*FuncNode,
+	regions map[string]map[*FuncNode]bool, callers map[*FuncNode][]*FuncNode, report Reporter) {
+
+	var walk func(n ast.Node, inSpawn bool)
+	walk = func(n ast.Node, inSpawn bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+					walk(lit.Body, true)
+					for _, arg := range g.Call.Args {
+						walk(arg, inSpawn)
+					}
+					return false
+				}
+				return true
+			}
+			if call, ok := n.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && spawnerNames[sel.Sel.Name] {
+					for _, arg := range call.Args {
+						if lit, ok := arg.(*ast.FuncLit); ok {
+							walk(lit.Body, true)
+						} else {
+							walk(arg, inSpawn)
+						}
+					}
+					walk(call.Fun, inSpawn)
+					return false
+				}
+				return true
+			}
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			info, ok := confined[selectedObject(pkg.Info, sel)]
+			if !ok {
+				return true
+			}
+			entry := entries[info.entry]
+			region := regions[info.entry]
+			if constructs(fd, info.structName) {
+				return true
+			}
+			if inSpawn {
+				report(sel.Pos(), "%s.%s is confined to %s, but this access runs on a goroutine spawned inside %s",
+					info.structName, info.fieldName, info.entry, fd.Name.Name)
+				return true
+			}
+			base := types.ExprString(sel.X)
+			if node != nil && region[node] {
+				if node != entry {
+					if out := outsideCaller(node, region, callers); out != nil {
+						report(sel.Pos(), "%s.%s is confined to %s, but %s is also called from %s, outside the confinement region",
+							info.structName, info.fieldName, info.entry, fd.Name.Name, displayKey(out))
+					}
+				}
+				return true
+			}
+			if info.mutex != "" && lockStrength(fd.Body, base, info.mutex) >= lockExclusive {
+				return true
+			}
+			report(sel.Pos(), "%s.%s is confined to %s, but %s is outside its spawn-free call closure and does not hold %s.%s",
+				info.structName, info.fieldName, info.entry, fd.Name.Name, base, muOrDefault(info.mutex))
+			return true
+		})
+	}
+	walk(fd.Body, false)
+}
+
+func muOrDefault(mu string) string {
+	if mu == "" {
+		return "mu"
+	}
+	return mu
+}
+
+// outsideCaller returns a direct caller of n that is not part of the
+// region (nil when all callers are inside). The entry's own callers are
+// exempt by construction — the check never asks about the entry.
+func outsideCaller(n *FuncNode, region map[*FuncNode]bool, callers map[*FuncNode][]*FuncNode) *FuncNode {
+	for _, caller := range callers[n] {
+		if !region[caller] {
+			return caller
+		}
+	}
+	return nil
+}
+
+// spawnFreeClosure returns the set of functions reachable from entry
+// without crossing a goroutine spawn.
+func spawnFreeClosure(entry *FuncNode) map[*FuncNode]bool {
+	region := map[*FuncNode]bool{entry: true}
+	queue := []*FuncNode{entry}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, callee := range cur.Callees {
+			if !region[callee] {
+				region[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+	return region
+}
+
+// resolveEntry finds the entry node named by an annotation: "tick" means
+// a method of the owning struct (falling back to a package function),
+// "Gateway.handle" names the receiver type explicitly.
+func resolveEntry(graph *CallGraph, pkg *Package, ownerStruct, entry string) *FuncNode {
+	recv, name := ownerStruct, entry
+	if dot := strings.IndexByte(entry, '.'); dot >= 0 {
+		recv, name = entry[:dot], entry[dot+1:]
+	}
+	if n := graph.Lookup(pkg.ImportPath + "." + recv + "." + name); n != nil {
+		return n
+	}
+	if !strings.Contains(entry, ".") {
+		return graph.Lookup(pkg.ImportPath + "." + name)
+	}
+	return nil
+}
+
+// fieldConfAnnotation extracts the entry name from a field's doc or line
+// comment.
+func fieldConfAnnotation(fld *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{fld.Doc, fld.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := confinedRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}

@@ -13,7 +13,9 @@ import (
 //
 //   - in a function whose body locks the same mutex on the same base
 //     expression (x.mu.Lock() / x.mu.RLock(), with defer-unlock as
-//     usual),
+//     usual) — for sync.RWMutex the strength matters: a read access is
+//     legal under RLock, but a write (assignment, ++/--, delete) with
+//     only the read lock held is a finding,
 //   - in a constructor (a function whose results include the owning
 //     struct type — the value is not shared yet), or
 //   - in a function whose doc comment declares the lock as a
@@ -127,6 +129,7 @@ func (c *GuardedBy) runPackage(pkg *Package, report Reporter) {
 				continue
 			}
 			heldByDoc := declaredHeld(fd)
+			writes := writeTargets(fd.Body)
 			ast.Inspect(fd.Body, func(n ast.Node) bool {
 				sel, ok := n.(*ast.SelectorExpr)
 				if !ok {
@@ -141,8 +144,12 @@ func (c *GuardedBy) runPackage(pkg *Package, report Reporter) {
 					return true
 				}
 				base := types.ExprString(sel.X)
-				if !containsLock(fd.Body, base, g.mutex) {
+				switch strength := lockStrength(fd.Body, base, g.mutex); {
+				case strength == lockNone:
 					report(sel.Pos(), "%s.%s is guarded by %s, but %s neither locks %s.%s nor declares it held",
+						g.structName, g.fieldName, g.mutex, fd.Name.Name, base, g.mutex)
+				case strength == lockRead && writes[sel]:
+					report(sel.Pos(), "%s.%s is guarded by %s, but %s writes it holding only the read lock; writes require %s.%s.Lock()",
 						g.structName, g.fieldName, g.mutex, fd.Name.Name, base, g.mutex)
 				}
 				return true
@@ -224,12 +231,21 @@ func declaredHeld(fd *ast.FuncDecl) map[string]bool {
 	return held
 }
 
-// containsLock reports whether body contains base.mu.Lock() or
-// base.mu.RLock() with the same rendered base expression.
-func containsLock(body *ast.BlockStmt, base, mutex string) bool {
-	found := false
+// Lock strengths, ordered so comparisons read naturally: an exclusive
+// Lock satisfies any requirement, an RLock satisfies reads only.
+const (
+	lockNone = iota
+	lockRead
+	lockExclusive
+)
+
+// lockStrength scans body for base.mu.Lock() / base.mu.RLock() calls
+// with the same rendered base expression and returns the strongest one
+// found.
+func lockStrength(body *ast.BlockStmt, base, mutex string) int {
+	strength := lockNone
 	ast.Inspect(body, func(n ast.Node) bool {
-		if found {
+		if strength == lockExclusive {
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
@@ -237,18 +253,62 @@ func containsLock(body *ast.BlockStmt, base, mutex string) bool {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		if !ok {
+			return true
+		}
+		var s int
+		switch sel.Sel.Name {
+		case "Lock":
+			s = lockExclusive
+		case "RLock":
+			s = lockRead
+		default:
 			return true
 		}
 		muSel, ok := sel.X.(*ast.SelectorExpr)
-		if !ok || muSel.Sel.Name != mutex {
+		if !ok || muSel.Sel.Name != mutex || types.ExprString(muSel.X) != base {
 			return true
 		}
-		if types.ExprString(muSel.X) == base {
-			found = true
-			return false
+		if s > strength {
+			strength = s
 		}
 		return true
 	})
-	return found
+	return strength
+}
+
+// writeTargets collects the selector expressions a body writes:
+// assignment left-hand sides (unwrapping element and pointer writes
+// through the field), ++/-- operands, and the map argument of delete.
+func writeTargets(body *ast.BlockStmt) map[ast.Expr]bool {
+	writes := map[ast.Expr]bool{}
+	var mark func(e ast.Expr)
+	mark = func(e ast.Expr) {
+		switch t := e.(type) {
+		case *ast.ParenExpr:
+			mark(t.X)
+		case *ast.IndexExpr:
+			mark(t.X)
+		case *ast.StarExpr:
+			mark(t.X)
+		case *ast.SelectorExpr:
+			writes[t] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(st.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(st.Fun).(*ast.Ident); ok && id.Name == "delete" && len(st.Args) == 2 {
+				mark(st.Args[0])
+			}
+		}
+		return true
+	})
+	return writes
 }

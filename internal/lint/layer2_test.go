@@ -1,0 +1,164 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"dynbw/internal/lint"
+)
+
+const fixtureImport = "dynbw/internal/lint/testdata/src"
+
+func loadFixture(t *testing.T, dirs ...string) *lint.Program {
+	t.Helper()
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	patterns := make([]string, len(dirs))
+	for i, d := range dirs {
+		patterns[i] = filepath.Join("internal", "lint", "testdata", "src", d)
+	}
+	prog, err := lint.LoadProgram(root, patterns)
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	return prog
+}
+
+// TestHotpathRequiredRoots pins the acceptance gate: a required root
+// that lost its bwlint:hotpath annotation, or no longer exists, is
+// itself a finding.
+func TestHotpathRequiredRoots(t *testing.T) {
+	check := &lint.Hotpath{Required: []string{
+		fixtureImport + "/hotpath.buf.step", // annotated: no finding
+		fixtureImport + "/hotpath.cold",     // exists, annotation missing
+		fixtureImport + "/hotpath.vanished", // does not exist
+	}}
+	prog := loadFixture(t, "hotpath")
+	findings := lint.RunProgram(prog, []lint.Check{check})
+
+	var missing, gone int
+	for _, f := range findings {
+		switch {
+		case strings.Contains(f.Message, "missing its // bwlint:hotpath annotation"):
+			missing++
+			if !strings.Contains(f.Message, "cold") {
+				t.Errorf("missing-annotation finding names the wrong function: %s", f)
+			}
+		case strings.Contains(f.Message, "no longer exists"):
+			gone++
+			if !strings.Contains(f.Message, "vanished") {
+				t.Errorf("missing-function finding names the wrong function: %s", f)
+			}
+		}
+		if strings.Contains(f.Message, "step is a required") {
+			t.Errorf("annotated root reported as unannotated: %s", f)
+		}
+	}
+	if missing != 1 || gone != 1 {
+		t.Errorf("required-root findings: missing=%d gone=%d, want 1 and 1", missing, gone)
+	}
+}
+
+// TestProgramSharedAcrossChecks is the single-load regression test: one
+// Program serves every check, each package is parsed exactly once, and
+// the call graph is built exactly once no matter how many checks
+// consume it.
+func TestProgramSharedAcrossChecks(t *testing.T) {
+	prog := loadFixture(t, "hotpath", "confined", "determ")
+	if prog.Loads != len(prog.All) {
+		t.Errorf("Loads = %d, want one parse per package (%d)", prog.Loads, len(prog.All))
+	}
+	lint.RunProgram(prog, lint.Checks())
+	if got := prog.CallGraphBuilds(); got != 1 {
+		t.Errorf("call graph built %d times across the run, want exactly 1", got)
+	}
+}
+
+// TestLoaderTypeErrorPackage: a package that fails type checking is
+// still loaded (errors recorded) and syntactic/partially-typed checks
+// still produce findings.
+func TestLoaderTypeErrorPackage(t *testing.T) {
+	prog := loadFixture(t, "broken")
+	if len(prog.Pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(prog.Pkgs))
+	}
+	if len(prog.Pkgs[0].TypeErrors) == 0 {
+		t.Fatal("fixture type error was not recorded")
+	}
+	findings := lint.RunProgram(prog, []lint.Check{lint.NewDeterminism()})
+	found := false
+	for _, f := range findings {
+		if strings.Contains(f.Message, "time.Now") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("determinism did not run over the type-error package; findings: %v", findings)
+	}
+}
+
+// TestLoaderSkipsTestOnlyPackages: recursive patterns skip directories
+// with only _test.go files, and naming one directly is an error.
+func TestLoaderSkipsTestOnlyPackages(t *testing.T) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := lint.LoadProgram(root, []string{filepath.Join("internal", "lint", "testdata", "src") + "/..."})
+	if err != nil {
+		t.Fatalf("LoadProgram: %v", err)
+	}
+	for _, pkg := range prog.Pkgs {
+		if strings.HasSuffix(pkg.ImportPath, "/testonly") {
+			t.Errorf("test-only package was listed: %s", pkg.ImportPath)
+		}
+	}
+	var sawHotpath bool
+	for _, pkg := range prog.Pkgs {
+		if strings.HasSuffix(pkg.ImportPath, "/hotpath") {
+			sawHotpath = true
+		}
+	}
+	if !sawHotpath {
+		t.Error("recursive fixture load missed the hotpath package")
+	}
+	if _, err := lint.LoadProgram(root, []string{filepath.Join("internal", "lint", "testdata", "src", "testonly")}); err == nil {
+		t.Error("directly naming a test-only package did not error")
+	}
+}
+
+// TestSelectUnknownListsAvailable: the error for an unknown check name
+// enumerates what is available.
+func TestSelectUnknownListsAvailable(t *testing.T) {
+	_, err := lint.Select(lint.Checks(), "no-such-check")
+	if err == nil {
+		t.Fatal("Select accepted an unknown check name")
+	}
+	for _, name := range []string{"hotpath", "shard-confinement", "determinism", "guarded-by"} {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("Select error %q does not list available check %s", err, name)
+		}
+	}
+}
+
+// TestCheckStats: the escape-counting checks summarize their last run.
+func TestCheckStats(t *testing.T) {
+	hp := lint.NewHotpath()
+	hp.Required = nil
+	prog := loadFixture(t, "hotpath")
+	lint.RunProgram(prog, []lint.Check{hp})
+	if s := hp.Stats(); !strings.Contains(s, "1 bwlint:allocok") {
+		t.Errorf("hotpath Stats = %q, want 1 escape in effect", s)
+	}
+
+	det := lint.NewDeterminism()
+	det.Required = nil
+	prog = loadFixture(t, "determ")
+	lint.RunProgram(prog, []lint.Check{det})
+	if s := det.Stats(); !strings.Contains(s, "1 bwlint:detok") {
+		t.Errorf("determinism Stats = %q, want 1 escape in effect", s)
+	}
+}

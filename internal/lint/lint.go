@@ -18,6 +18,20 @@
 //     compiler cannot tell apart; crossings (rate x ticks, bits /
 //     ticks, mixed comparisons) must go through the units.go helpers.
 //
+// Layer 2 adds call-graph checks built on shared per-function summaries
+// (callees, spawn points, lock operations, allocation sites):
+//
+//   - hotpath: functions annotated bwlint:hotpath must be transitively
+//     free of heap-allocating constructs; bwlint:allocok escapes are
+//     counted, and the load-bearing roots are required so the
+//     annotation cannot silently disappear.
+//   - shard-confinement: fields annotated "confined to <entry>" may
+//     only be touched inside the entry's spawn-free call closure,
+//     constructors, or under the owner's exclusive lock.
+//   - determinism: golden-producing packages marked
+//     bwlint:deterministic must not call time.Now, use the global
+//     math/rand source, or range over maps unordered.
+//
 // Each finding is reported as "file:line:col: [check] message"; any
 // finding makes the driver exit non-zero, which is how CI enforces the
 // invariants on every PR.
@@ -58,14 +72,34 @@ type Check interface {
 	Run(prog *Program, report Reporter)
 }
 
+// Stater is implemented by checks that track run statistics (escape
+// hatches in effect); bwlint -v prints them after each run.
+type Stater interface {
+	// Stats returns a one-line summary of the last Run.
+	Stats() string
+}
+
 // Checks returns every check in its default configuration.
 func Checks() []Check {
 	return []Check{
+		NewDeterminism(),
 		NewEmitOnChange(),
 		NewGuardedBy(),
+		NewHotpath(),
 		NewNilSafe(),
+		NewShardConfinement(),
 		NewUnitHygiene(),
 	}
+}
+
+// LoadProgram loads patterns under the module rooted at root once, for
+// sharing across checks and output formats.
+func LoadProgram(root string, patterns []string) (*Program, error) {
+	loader, err := NewLoader(root)
+	if err != nil {
+		return nil, err
+	}
+	return loader.Load(patterns...)
 }
 
 // Select filters checks by comma-separated names ("" keeps all).
@@ -103,11 +137,7 @@ func checkNames(checks []Check) string {
 // Run loads patterns under the module rooted at root and applies checks,
 // returning findings sorted by position.
 func Run(root string, patterns []string, checks []Check) ([]Finding, error) {
-	loader, err := NewLoader(root)
-	if err != nil {
-		return nil, err
-	}
-	prog, err := loader.Load(patterns...)
+	prog, err := LoadProgram(root, patterns)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,9 @@ var goldenDirs = []struct {
 	{"guarded", "guarded-by"},
 	{"nilsafe", "nil-safe"},
 	{"units", "unit-hygiene"},
+	{"hotpath", "hotpath"},
+	{"confined", "shard-confinement"},
+	{"determ", "determinism"},
 }
 
 // wantRe extracts golden expectations: a `want "regex"` marker anywhere

@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed and type-checked module package.
@@ -32,7 +33,9 @@ type Package struct {
 	Listed bool
 }
 
-// Program is the full load result handed to checks.
+// Program is the full load result handed to checks. One Program is
+// loaded per run and shared by every selected check; derived whole-
+// program state (the call-graph summaries) is built lazily, once.
 type Program struct {
 	Fset *token.FileSet
 	// Pkgs are the listed packages, in deterministic import-path order.
@@ -41,6 +44,14 @@ type Program struct {
 	// imports, so checks can read context (units, annotations) beyond
 	// the linted set.
 	All []*Package
+	// Loads counts packages actually parsed and type-checked (cache
+	// misses) while building this program — the single-load regression
+	// test pins it.
+	Loads int
+
+	cgOnce   sync.Once
+	cg       *CallGraph
+	cgBuilds int
 }
 
 // Loader parses and type-checks module packages using only the standard
@@ -55,6 +66,7 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package // by import path
 	loading map[string]bool     // import-cycle guard
+	parsed  int                 // packages actually parsed (cache misses)
 }
 
 // NewLoader returns a loader for the module rooted at root (the
@@ -147,7 +159,7 @@ func (l *Loader) Load(patterns ...string) (*Program, error) {
 	for _, path := range sortedPkgKeys(l.pkgs) {
 		all = append(all, l.pkgs[path])
 	}
-	return &Program{Fset: l.fset, Pkgs: listed, All: all}, nil
+	return &Program{Fset: l.fset, Pkgs: listed, All: all, Loads: l.parsed}, nil
 }
 
 // expand turns one pattern into absolute package directories.
@@ -281,6 +293,7 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 	pkg.Pkg = tpkg
 	pkg.Info = info
 	l.pkgs[path] = pkg
+	l.parsed++
 	return pkg, nil
 }
 

@@ -1,0 +1,16 @@
+// Package broken fails type checking on purpose: the loader must keep
+// the package (recording the errors) so syntactic and partially-typed
+// checks still run over it.
+//
+// bwlint:deterministic
+package broken
+
+import "time"
+
+func now() int64 {
+	return time.Now().UnixNano() // still detected despite the type error below
+}
+
+func boom() {
+	undefinedFunction()
+}

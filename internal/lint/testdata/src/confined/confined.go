@@ -1,0 +1,77 @@
+// Package confined exercises the shard-confinement check: fields
+// annotated "confined to <entry>" may only be touched inside the
+// entry's spawn-free call closure, in constructors, or under the owning
+// struct's exclusive lock.
+package confined
+
+import "sync"
+
+type shard struct {
+	mu      sync.Mutex
+	scratch []int // confined to shard.tick
+	ghost   int   // confined to vanished; want "no such function"
+}
+
+// newShard may touch the field: the value is not shared yet.
+func newShard(n int) *shard {
+	return &shard{scratch: make([]int, n)}
+}
+
+// tick is the confinement entry; its own accesses are legal.
+func (s *shard) tick() {
+	for i := range s.scratch {
+		s.scratch[i] = 0
+	}
+	_ = s.sum()
+	go func() {
+		s.scratch[0] = 1 // want "spawned inside"
+	}()
+}
+
+// sum is inside tick's spawn-free closure, but leak also calls it from
+// outside the region — the shared-helper violation.
+func (s *shard) sum() int {
+	t := 0
+	for _, v := range s.scratch { // want "also called from"
+		t += v
+	}
+	return t
+}
+
+func (s *shard) leak() int { return s.sum() }
+
+// reset touches the field outside the region without the lock.
+func (s *shard) reset() {
+	s.scratch = s.scratch[:0] // want "outside its spawn-free call closure"
+}
+
+// drain uses the escape valve: the owning struct's exclusive lock.
+func (s *shard) drain() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.scratch = s.scratch[:0]
+}
+
+type table struct {
+	mu   sync.RWMutex
+	rows []int // confined to table.rebuild
+}
+
+func (t *table) rebuild() {
+	t.rows = t.rows[:0]
+}
+
+// snapshot holds only the read lock, which is not enough to escape
+// confinement.
+func (t *table) snapshot() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rows) // want "does not hold t.mu"
+}
+
+// rewrite holds the exclusive lock: legal.
+func (t *table) rewrite(rows []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.rows = append(t.rows[:0], rows...)
+}

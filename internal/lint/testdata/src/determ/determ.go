@@ -1,0 +1,54 @@
+// Package determ exercises the determinism check: a package whose
+// package comment carries the marker below must not consult the wall
+// clock, the global math/rand source, or unordered map iteration.
+//
+// bwlint:deterministic
+package determ
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "time.Since"
+}
+
+func draw() int {
+	return rand.Intn(10) // want "global math/rand"
+}
+
+// seeded uses the sanctioned route: an explicit generator.
+func seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(10)
+}
+
+// keys is the sanctioned sort-the-keys idiom.
+func keys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func total(m map[string]int) int {
+	t := 0
+	for _, v := range m { // want "range over a map"
+		t += v
+	}
+	return t
+}
+
+// logged acknowledges its wall-clock read in place: no finding.
+func logged() int64 {
+	// bwlint:detok timing is diagnostic only, not on the output path
+	return time.Now().UnixNano()
+}

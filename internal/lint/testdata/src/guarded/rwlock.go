@@ -1,0 +1,53 @@
+package guarded
+
+import "sync"
+
+// counter exercises the RWMutex strength distinction: reads are legal
+// under RLock, writes require the exclusive Lock.
+type counter struct {
+	mu sync.RWMutex
+	n  int // guarded by mu
+}
+
+func newCounter() *counter { return &counter{} }
+
+func (c *counter) get() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.n
+}
+
+func (c *counter) badInc() {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.n++ // want "writes it holding only the read lock"
+}
+
+func (c *counter) inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) race() int {
+	return c.n // want "neither locks"
+}
+
+type cache struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func newCache() *cache { return &cache{m: map[string]int{}} }
+
+func (c *cache) badEvict(k string) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	delete(c.m, k) // want "writes it holding only the read lock"
+}
+
+func (c *cache) evict(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.m, k)
+}

@@ -1,0 +1,62 @@
+// Package hotpath exercises the bwlint hotpath check: functions
+// annotated bwlint:hotpath must be transitively free of heap-allocating
+// constructs, bwlint:allocok acknowledges amortized or cold sites, and
+// allocations behind goroutine spawns or panics are not charged.
+package hotpath
+
+import "fmt"
+
+type buf struct {
+	data []int
+	m    map[string]int
+}
+
+type sink interface{ take(v any) }
+
+// step is the annotated hot-path root.
+//
+// bwlint:hotpath
+func (b *buf) step(v int, out sink) {
+	b.data = append(b.data, v) // want "append may grow its backing array"
+	b.helper(v)
+	b.escaped(v)
+	b.spawned(v)
+	out.take(v) // want "interface boxing"
+	if v < 0 {
+		panic(fmt.Sprintf("bad %d", v)) // cold: no finding
+	}
+}
+
+// helper is reached transitively from step; its allocations are charged
+// to the root.
+func (b *buf) helper(v int) {
+	b.m["k"] = v                 // want "map assignment may grow the table"
+	f := func() int { return v } // want "function literal"
+	_ = f()
+	s := "a"
+	s = s + "b"         // want "string concatenation"
+	_ = []byte(s)       // want "string/byte-slice conversion"
+	_ = make([]int, 4)  // want "make"
+	_ = new(buf)        // want "new"
+	_ = &buf{}          // want "composite literal"
+	_ = fmt.Sprintln(v) // want "allocating stdlib call|interface boxing"
+}
+
+// escaped acknowledges its growth in place: no findings.
+func (b *buf) escaped(v int) {
+	// bwlint:allocok amortized doubling, fixture escape
+	b.data = append(b.data, v)
+}
+
+// spawned allocations run on another goroutine: only the go statement
+// itself is charged to the hot path.
+func (b *buf) spawned(v int) {
+	go func() { // want "go statement"
+		_ = make([]int, v)
+	}()
+}
+
+// cold is not reachable from any hot path; it may allocate freely.
+func cold() []int {
+	return make([]int, 8)
+}

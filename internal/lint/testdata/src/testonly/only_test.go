@@ -1,0 +1,7 @@
+// Package testonly contains only test files; the loader must skip the
+// directory entirely when expanding recursive patterns.
+package testonly
+
+import "testing"
+
+func TestNothing(t *testing.T) {}

@@ -105,7 +105,7 @@ func (r *SpanRing) Push(s Span) {
 	r.mu.Lock()
 	r.total++
 	if len(r.buf) < cap(r.buf) {
-		r.buf = append(r.buf, s)
+		r.buf = append(r.buf, s) // bwlint:allocok capacity preallocated; append never grows past cap
 	} else {
 		r.buf[r.next] = s
 		r.next = (r.next + 1) % cap(r.buf)

@@ -51,6 +51,8 @@ func (r *Runner) Reset() {
 // Run simulates the allocator on the trace, exactly like the package
 // function Run but reusing the Runner's storage. See Run for the tick
 // semantics and error conditions.
+//
+// bwlint:hotpath
 func (r *Runner) Run(tr *trace.Trace, alloc Allocator, opts Options) (*Result, error) {
 	r.Reset()
 	var (
@@ -77,12 +79,14 @@ func (r *Runner) Run(tr *trace.Trace, alloc Allocator, opts Options) (*Result, e
 		}
 		rate := alloc.Rate(t, arrived, r.q.Bits())
 		if rate < 0 {
+			// bwlint:allocok cold: allocator contract violation aborts the run
 			return nil, fmt.Errorf("sim: allocator returned negative rate %d at tick %d", rate, t)
 		}
 		r.sched.Set(t, rate)
 		r.q.Serve(t, rate)
 	}
 	if !r.q.Empty() {
+		// bwlint:allocok cold: drain failure aborts the run
 		return nil, fmt.Errorf("%w: %d bits left after %d ticks", ErrQueueNeverDrained, r.q.Bits(), limit)
 	}
 	delay := metrics.DelayStats{
@@ -127,12 +131,12 @@ func NewMultiRunner() *MultiRunner { return &MultiRunner{} }
 // and resetting whatever is reused.
 func (r *MultiRunner) size(k int) {
 	if cap(r.schedStore) < k {
-		r.queues = make([]queue.FIFO, k)
-		r.schedStore = make([]bw.Schedule, k)
-		r.scheds = make([]*bw.Schedule, k)
-		r.arrived = make([]bw.Bits, k)
-		r.queued = make([]bw.Bits, k)
-		r.delays = make([]bw.Tick, k)
+		r.queues = make([]queue.FIFO, k)      // bwlint:allocok once per k growth, reused across runs
+		r.schedStore = make([]bw.Schedule, k) // bwlint:allocok once per k growth, reused across runs
+		r.scheds = make([]*bw.Schedule, k)    // bwlint:allocok once per k growth, reused across runs
+		r.arrived = make([]bw.Bits, k)        // bwlint:allocok once per k growth, reused across runs
+		r.queued = make([]bw.Bits, k)         // bwlint:allocok once per k growth, reused across runs
+		r.delays = make([]bw.Tick, k)         // bwlint:allocok once per k growth, reused across runs
 	}
 	r.queues = r.queues[:k]
 	r.schedStore = r.schedStore[:k]
@@ -150,6 +154,8 @@ func (r *MultiRunner) size(k int) {
 
 // Run simulates the allocator on k parallel sessions, exactly like the
 // package function RunMulti but reusing the MultiRunner's storage.
+//
+// bwlint:hotpath
 func (r *MultiRunner) Run(m *trace.Multi, alloc MultiAllocator, opts Options) (*MultiResult, error) {
 	k := m.K()
 	n := m.Len()
@@ -170,10 +176,12 @@ func (r *MultiRunner) Run(m *trace.Multi, alloc MultiAllocator, opts Options) (*
 		}
 		rates := alloc.Rates(t, r.arrived, r.queued)
 		if len(rates) != k {
+			// bwlint:allocok cold: allocator contract violation aborts the run
 			return nil, fmt.Errorf("sim: allocator returned %d rates, want %d", len(rates), k)
 		}
 		for i, rate := range rates {
 			if rate < 0 {
+				// bwlint:allocok cold: allocator contract violation aborts the run
 				return nil, fmt.Errorf("sim: session %d negative rate %d at tick %d", i, rate, t)
 			}
 			r.scheds[i].Set(t, rate)
@@ -185,6 +193,7 @@ func (r *MultiRunner) Run(m *trace.Multi, alloc MultiAllocator, opts Options) (*
 		left += r.queues[i].Bits()
 	}
 	if left > 0 {
+		// bwlint:allocok cold: drain failure aborts the run
 		return nil, fmt.Errorf("%w: %d bits left after %d ticks", ErrQueueNeverDrained, left, limit)
 	}
 

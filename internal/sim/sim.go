@@ -8,6 +8,12 @@
 // including t — picks the rate B(t), and then min(B(t), queue) bits are
 // served in FIFO order. A bit served in its arrival tick has delay 0, so a
 // delay bound D means "served at most D ticks after arrival".
+//
+// The simulator produces the committed goldens; it must stay bitwise
+// reproducible (no wall clock, no global randomness, no map-order
+// dependence):
+//
+// bwlint:deterministic
 package sim
 
 import (
