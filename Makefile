@@ -25,7 +25,7 @@ race:
 # ns/op, B/op, allocs/op and rows/op in BENCH_<PR>.json for regression
 # tracking across PRs. BENCH_PR picks the artifact suffix; -short keeps
 # the wall-clock TCP soak out of the tracked numbers.
-BENCH_PR ?= 8
+BENCH_PR ?= 10
 bench:
 	$(GO) run ./cmd/bwbench -benchjson BENCH_$(BENCH_PR).json -benchtime 200ms -short
 
@@ -33,7 +33,7 @@ bench:
 # non-zero on >10% ns/op or any allocs/op regression (see
 # bwbench -compare for cross-machine tolerance flags).
 bench-compare:
-	$(GO) run ./cmd/bwbench -compare BENCH_7.json BENCH_$(BENCH_PR).json
+	$(GO) run ./cmd/bwbench -compare BENCH_8.json BENCH_$(BENCH_PR).json
 
 # The old behaviour (every package's benchmarks, no artifact).
 bench-all:

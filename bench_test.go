@@ -203,15 +203,23 @@ func BenchmarkScheduleScan(b *testing.B) {
 // single-mutex table; shards=8 lock-stripes it. On a single-core box
 // the two are expected to be close (striping buys nothing without
 // parallel hardware); the win shows up as core count grows.
+// The batch=64 variants send the same DATA traffic coalesced into
+// BATCH wire frames (Mux.SendBatch, 64 messages per write) with one
+// STATS round trip per frame to keep the pipeline honest; msg/s counts
+// logical messages, so the batched win over the per-message rows is the
+// tentpole number recorded in BENCH_10.json.
 func BenchmarkGatewayMessages(b *testing.B) {
 	for _, shards := range []int{1, 8} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
-			benchGatewayMessages(b, shards)
+			benchGatewayMessages(b, shards, 0)
+		})
+		b.Run(fmt.Sprintf("shards=%d/batch=64", shards), func(b *testing.B) {
+			benchGatewayMessages(b, shards, 64)
 		})
 	}
 }
 
-func benchGatewayMessages(b *testing.B, shards int) {
+func benchGatewayMessages(b *testing.B, shards, batch int) {
 	const k, conns = 256, 8
 	// The benchmark measures the instrumented wire path — metrics
 	// registry attached and span sampling at the default 1-in-1024 rate —
@@ -267,6 +275,23 @@ func benchGatewayMessages(b *testing.B, shards int) {
 	b.RunParallel(func(pb *testing.PB) {
 		i := int(next.Add(1)-1) % conns
 		m, id := muxes[i], ids[i]
+		if batch > 1 {
+			items := make([]gateway.BatchItem, batch)
+			for j := range items {
+				items[j] = gateway.BatchItem{Session: id, Bits: 8}
+			}
+			for pb.Next() {
+				if err := m.SendBatch(items); err != nil {
+					b.Error(err)
+					return
+				}
+				if _, err := m.Stats(id); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+			return
+		}
 		for pb.Next() {
 			if err := m.Send(id, 8); err != nil {
 				b.Error(err)
@@ -279,5 +304,50 @@ func benchGatewayMessages(b *testing.B, shards int) {
 		}
 	})
 	b.StopTimer()
-	b.ReportMetric(float64(2*b.N)/b.Elapsed().Seconds(), "msg/s")
+	perIter := 2
+	if batch > 1 {
+		perIter = batch + 1
+	}
+	b.ReportMetric(float64(perIter*b.N)/b.Elapsed().Seconds(), "msg/s")
+}
+
+// BenchmarkGatewayConnChurn measures accept/open/close/disconnect churn:
+// each iteration dials a fresh connection, opens and closes a session,
+// and tears the connection down. The pooled per-connection state
+// (connState, read/write buffers) keeps the gateway-side cost flat; the
+// allocs/op reported here are dominated by the client and the kernel
+// socket, so the benchmark guards against regressions rather than
+// asserting zero.
+func BenchmarkGatewayConnChurn(b *testing.B) {
+	cfg := gateway.Config{
+		Addr:    "127.0.0.1:0",
+		Slots:   16,
+		Ticks:   make(chan time.Time), // never fires: churn path only
+		Alloc:   core.MustNewPhased(core.MultiParams{K: 16, BO: 256, DO: 8}),
+		Metrics: obs.NewRegistry(),
+		Policy:  "phased",
+	}
+	gw, err := gateway.NewWithConfig(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer gw.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := gateway.DialMux(gw.Addr(), 5*time.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		id, err := m.Open()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.CloseSession(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

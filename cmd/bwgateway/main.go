@@ -97,6 +97,7 @@ func run(args []string, out, errw io.Writer) error {
 		spans     = fs.Int("spans", obs.DefaultSpanRingSize, "wire-path span ring capacity (0: span sampling disabled)")
 		sample    = fs.Int("sample", obs.DefaultSampleEvery, "sample one wire-path span per this many messages per stripe")
 		record    = fs.Duration("record", 500*time.Millisecond, "flight-recorder snapshot interval (0: recorder disabled)")
+		batch     = fs.Int("batch", 0, "synthetic clients coalesce this many bursts into one BATCH wire frame before writing (0/1: one DATA per burst)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -249,7 +250,7 @@ func run(args []string, out, errw io.Writer) error {
 			wg.Add(1)
 			go func(id int) {
 				defer wg.Done()
-				errs <- streamClient(ctx, gw.Addr(), *seed+uint64(id), *bo/int64(*k), *tick, *duration)
+				errs <- streamClient(ctx, gw.Addr(), *seed+uint64(id), *bo/int64(*k), *tick, *duration, *batch)
 			}(i)
 		}
 		wg.Wait()
@@ -321,19 +322,30 @@ func printProfile(out io.Writer, p gateway.Profile) {
 }
 
 // streamClient opens a session and submits bursty traffic until the
-// duration elapses or ctx is canceled.
-func streamClient(ctx context.Context, addr string, seed uint64, rate int64, tick, duration time.Duration) error {
+// duration elapses or ctx is canceled. With batch > 1 bursts are
+// accumulated and shipped batch-at-a-time as one BATCH wire frame
+// (Client.SendN); the tail is flushed before the client exits.
+func streamClient(ctx context.Context, addr string, seed uint64, rate int64, tick, duration time.Duration, batch int) error {
 	c, err := gateway.DialSession(addr, time.Second)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
 	src := rng.New(seed)
+	var pending []bw.Bits
 	deadline := time.Now().Add(duration)
 	for time.Now().Before(deadline) {
 		if src.Bool(0.4) {
 			burst := bw.Bits(src.Int64n(bw.Max(2*rate, 2)))
-			if err := c.Send(burst); err != nil {
+			if batch > 1 {
+				pending = append(pending, burst)
+				if len(pending) >= batch {
+					if err := c.SendN(pending); err != nil {
+						return err
+					}
+					pending = pending[:0]
+				}
+			} else if err := c.Send(burst); err != nil {
 				return err
 			}
 		}
@@ -341,6 +353,11 @@ func streamClient(ctx context.Context, addr string, seed uint64, rate int64, tic
 		case <-ctx.Done():
 			return nil
 		case <-time.After(tick):
+		}
+	}
+	if len(pending) > 0 {
+		if err := c.SendN(pending); err != nil {
+			return err
 		}
 	}
 	return nil

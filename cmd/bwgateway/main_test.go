@@ -70,6 +70,16 @@ func TestRunShortDeadline(t *testing.T) {
 	}
 }
 
+// TestRunBatchedClients: the synthetic clients stream through the
+// batched wire path (-batch coalesces bursts into BATCH frames) and the
+// demo still drains cleanly.
+func TestRunBatchedClients(t *testing.T) {
+	var buf, errBuf strings.Builder
+	if err := run([]string{"-k", "2", "-tick", "1ms", "-duration", "60ms", "-grace", "100ms", "-batch", "4"}, &buf, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRunAdminAndSignal exercises the serve-until-signal mode with the
 // admin endpoint live: it scrapes /metrics and /healthz mid-run, sends
 // SIGINT, and checks the run exits cleanly with the event ring flushed

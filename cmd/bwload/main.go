@@ -22,7 +22,12 @@
 // land in -out. -shards lock-stripes the self-hosted gateway. With
 // -trace N every Nth request per connection is wrapped in a TRACE
 // envelope, forcing the gateway to record a client-tagged wire-path
-// span (visible on the admin /spans endpoint).
+// span (visible on the admin /spans endpoint). With -batch N the
+// plateau's sends and stats polls are coalesced into BATCH wire frames
+// of up to N messages each (one write per frame instead of per
+// message), exercising the gateway's pipelined batch path:
+//
+//	bwload -soak 100000 -shards 8 -hold 30s -batch 64 -out results
 package main
 
 import (
@@ -71,6 +76,7 @@ func run(args []string, out io.Writer) error {
 		hold     = fs.Duration("hold", 10*time.Second, "plateau duration in -soak mode")
 		shards   = fs.Int("shards", 0, "shard the self-hosted gateway's slot table (0/1: unsharded)")
 		trace    = fs.Int("trace", 0, "in -soak mode, TRACE-envelope every this many requests per connection so the gateway records client spans (0: off)")
+		batch    = fs.Int("batch", 0, "in -soak mode, coalesce plateau traffic into BATCH wire frames of up to this many messages (0/1: one message per write)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,7 +90,7 @@ func run(args []string, out io.Writer) error {
 			policy: strings.TrimSpace(names[0]), addr: *addr, sessions: *soak,
 			perConn: *perConn, hold: *hold, shards: *shards,
 			bo: *bo, do: *do, gwTick: *gwTick, admin: *admin, outDir: *outDir,
-			trace: *trace,
+			trace: *trace, batch: *batch,
 		})
 	}
 	m, err := load.ParseMode(*mode)
@@ -213,6 +219,7 @@ type soakOpts struct {
 	admin    string
 	outDir   string
 	trace    int
+	batch    int
 }
 
 // runSoak is bwload's -soak mode: self-host (or attach to) a gateway,
@@ -283,6 +290,7 @@ func runSoak(out io.Writer, opts soakOpts) error {
 		Hold:       opts.hold,
 		Registry:   reg,
 		TraceEvery: opts.trace,
+		Batch:      opts.batch,
 	})
 	if host != nil {
 		defer host.Close()

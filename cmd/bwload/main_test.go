@@ -34,7 +34,7 @@ func TestRunSoakShardedWritesScrape(t *testing.T) {
 	var out strings.Builder
 	err := run([]string{
 		"-soak", "128", "-shards", "4", "-perconn", "32",
-		"-hold", "200ms", "-gwtick", "2ms", "-out", dir,
+		"-hold", "200ms", "-gwtick", "2ms", "-batch", "8", "-out", dir,
 	}, &out)
 	if err != nil {
 		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
@@ -52,6 +52,7 @@ func TestRunSoakShardedWritesScrape(t *testing.T) {
 		"dynbw_gateway_active_sessions 128",
 		`dynbw_gateway_shard_sessions{shard="3"} 32`,
 		"dynbw_gateway_allocation_changes_total",
+		`dynbw_gateway_messages_total{type="batch"}`,
 	} {
 		if !strings.Contains(string(scrape), want) {
 			t.Errorf("mid-plateau scrape missing %q", want)

@@ -20,7 +20,8 @@ type Client struct {
 	conn     net.Conn
 	session  uint32
 	timeout  time.Duration
-	released bool // guarded by mu
+	released bool   // guarded by mu
+	batch    []byte // guarded by mu; BATCH frame assembly buffer, reused
 }
 
 // SessionStats is the per-session accounting returned by Client.Stats.
@@ -111,6 +112,46 @@ func (c *Client) Send(bits bw.Bits) error {
 	defer c.disarmDeadline()
 	if _, err := c.conn.Write(msg[:]); err != nil {
 		return fmt.Errorf("gateway: send: %w", err)
+	}
+	return nil
+}
+
+// SendN submits a sequence of payloads to the session's queue as BATCH
+// frames of DATA messages — one conn write (and one gateway syscall
+// round) per up-to-MaxBatch payloads instead of one per payload. The
+// assembly buffer is retained across calls, so a steady sender
+// allocates nothing after the first batch.
+func (c *Client) SendN(bits []bw.Bits) error {
+	for _, b := range bits {
+		if b < 0 {
+			return fmt.Errorf("gateway: negative send %d", b)
+		}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.released {
+		return fmt.Errorf("gateway: send on released session %d", c.session)
+	}
+	c.armDeadline()
+	defer c.disarmDeadline()
+	for len(bits) > 0 {
+		n := len(bits)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		buf := c.batch[:0]
+		buf = append(buf, typeBatch)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(n))
+		for _, b := range bits[:n] {
+			buf = append(buf, typeData)
+			buf = binary.BigEndian.AppendUint32(buf, c.session)
+			buf = binary.BigEndian.AppendUint64(buf, uint64(b))
+		}
+		c.batch = buf // keep the grown capacity for the next call
+		if _, err := c.conn.Write(buf); err != nil {
+			return fmt.Errorf("gateway: send batch: %w", err)
+		}
+		bits = bits[n:]
 	}
 	return nil
 }

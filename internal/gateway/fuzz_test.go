@@ -44,6 +44,18 @@ func FuzzHandleMessage(f *testing.F) {
 	f.Add([]byte{typeTrace, 1, 2, 3, 4, 5, 6, 7, 8, typeTrace})
 	f.Add([]byte{0xff, 0x00})
 	f.Add([]byte{})
+	// BATCH frames: empty, truncated count, oversized count, a clean
+	// OPEN+DATA+DATA batch, a short count (extra message spills out of
+	// the frame), nested BATCH, TRACE inside and wrapping a batch.
+	f.Add([]byte{typeBatch, 0, 0})
+	f.Add([]byte{typeBatch, 0})
+	f.Add([]byte{typeBatch, 0xff, 0xff})
+	f.Add(batchFrame(3, fuzzSeed(typeOpen), fuzzSeed(typeData, 0, 64), fuzzSeed(typeData, 0, 8)))
+	f.Add(batchFrame(1, fuzzSeed(typeOpen), fuzzSeed(typeData, 0, 64)))
+	f.Add(batchFrame(1, batchFrame(0)))
+	f.Add(batchFrame(2, fuzzSeed(typeOpen), append([]byte{typeTrace, 0, 0, 0, 0, 0, 0, 0, 9}, fuzzSeed(typeData, 0, 64)...)))
+	f.Add(append([]byte{typeTrace, 0, 0, 0, 0, 0, 0, 0, 9}, batchFrame(0)...))
+	f.Add(batchFrame(2, fuzzSeed(typeOpen), fuzzSeed(typeClose, 0)))
 
 	f.Fuzz(func(t *testing.T, in []byte) {
 		const k = 4

@@ -23,12 +23,30 @@
 //	                                        followed by a normal message, which
 //	                                        the gateway records a wire-path
 //	                                        span for under the given trace ID)
+//	BATCH:  type=10, count uint16, then count concatenated messages
+//	                                        (any of the above except BATCH;
+//	                                        TRACE envelopes ride in front of
+//	                                        the message they wrap and do not
+//	                                        count. count must be <= MaxBatch.
+//	                                        Replies keep stream order and are
+//	                                        coalesced into as few writes as
+//	                                        possible)
 //
 // A connection may OPEN any number of sessions and multiplex them (the
 // Mux client; one TCP connection per session would exhaust descriptors
 // long before the slot table does). DATA, STATS and CLOSE must name a
 // session the connection itself opened; anything else is a protocol
 // violation and drops the connection, releasing every session it owned.
+//
+// The gateway pipelines: it keeps handling buffered input before
+// flushing buffered replies, so a client that writes many requests
+// back-to-back (or one BATCH frame) gets all the replies in one burst.
+// Replies are flushed whenever the next read would block, so a
+// request/reply client that awaits each answer at a message boundary
+// observes exactly the unbuffered latencies. A client that half-sends a
+// message and then waits for an earlier reply can wedge itself until
+// the idle timeout; conforming clients either pipeline whole messages
+// or await replies at message boundaries.
 //
 // # Sharding
 //
@@ -74,6 +92,24 @@ const (
 	// (uint64) that must be immediately followed by a normal message. The
 	// gateway records a span for that message under the client's ID.
 	typeTrace byte = 9
+	// typeBatch is a framing byte, not a message: a uint16 count followed
+	// by that many concatenated messages, handled as one pipelined unit.
+	typeBatch byte = 10
+)
+
+// MaxBatch is the maximum number of logical messages one BATCH frame may
+// carry; a larger wire count is a protocol violation. Client batch
+// helpers (Client.SendN, Mux.SendBatch, Mux.StatsBatch) split longer
+// inputs into multiple frames transparently.
+const MaxBatch = 4096
+
+// Buffered-endpoint sizes for the per-connection pooled reader/writer.
+// The read buffer bounds how much pipelined input one drain pass can see
+// without a syscall; the write buffer bounds how many coalesced replies
+// accumulate before an early flush.
+const (
+	connReadBufSize  = 4096
+	connWriteBufSize = 4096
 )
 
 // statsReplyLen is the wire size of a STATSR message (type byte + four
@@ -137,6 +173,13 @@ type Config struct {
 	// and be answered). Idle or wedged clients are disconnected and their
 	// slot recycled — required to survive swarms of short-lived sessions.
 	// Zero means no deadline (trusted in-process clients).
+	//
+	// The deadline syscall is amortized: it is re-armed only once at
+	// least a quarter of IdleTimeout has elapsed since the last arming,
+	// not per message, so a busy connection pays at most four SetDeadline
+	// calls per IdleTimeout instead of one per message. An idle client is
+	// therefore disconnected after between 3/4 and 1 IdleTimeout of
+	// silence.
 	IdleTimeout time.Duration
 	// Observer receives session lifecycle and idle-disconnect events
 	// (nil disables). When it is a *obs.ShardedRing, each shard emits
@@ -207,6 +250,11 @@ type Gateway struct {
 
 	now      atomic.Int64 // completed allocation rounds
 	nextConn atomic.Int64 // round-robin conn -> shard stripe assignment
+
+	// csPool recycles connStates (owned map, buffered endpoints, batch
+	// group scratch) across connection churn, so accept/close cycles in a
+	// soak stop allocating per-connection state.
+	csPool sync.Pool
 
 	tickCh chan int       // shard indices fanned out to the tick workers (nil when 1 shard)
 	tickWG sync.WaitGroup // joins one allocation round across shards

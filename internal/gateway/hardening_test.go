@@ -259,3 +259,50 @@ func TestStatsDeadlineOnDeadGateway(t *testing.T) {
 		t.Errorf("Stats hung %v despite 200ms deadline", elapsed)
 	}
 }
+
+// TestDeadlineStale pins the amortization contract: the SetDeadline
+// syscall is skipped while the armed deadline is fresh and refreshed
+// once a quarter of the idle timeout has elapsed — so an idle client is
+// cut off after at least 3/4 and at most one full idleTimeout.
+func TestDeadlineStale(t *testing.T) {
+	const idle = 100 * time.Millisecond
+	base := time.Now()
+	if deadlineStale(base, base, idle) {
+		t.Error("freshly armed deadline reported stale")
+	}
+	if deadlineStale(base, base.Add(idle/4-time.Nanosecond), idle) {
+		t.Error("deadline stale just under a quarter timeout")
+	}
+	if !deadlineStale(base, base.Add(idle/4), idle) {
+		t.Error("deadline fresh at a quarter timeout")
+	}
+	if !deadlineStale(time.Time{}, base, idle) {
+		t.Error("never-armed deadline reported fresh")
+	}
+}
+
+// TestActiveClientOutlivesIdleTimeout: a client whose sends are spaced
+// well under the idle timeout stays connected for many timeouts' worth
+// of wall clock — the amortized deadline re-arming must keep pushing
+// the cutoff out even when most messages skip the SetDeadline call.
+func TestActiveClientOutlivesIdleTimeout(t *testing.T) {
+	const idle = 120 * time.Millisecond
+	g, _ := startGatewayWithConfig(t, 1, idle)
+	defer g.Close()
+	c, err := DialSession(g.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	// 4+ idle timeouts of traffic at ~idle/6 spacing.
+	deadline := time.Now().Add(5 * idle)
+	for time.Now().Before(deadline) {
+		if err := c.Send(1); err != nil {
+			t.Fatalf("active client dropped: %v", err)
+		}
+		if _, err := c.Stats(); err != nil {
+			t.Fatalf("active client dropped: %v", err)
+		}
+		time.Sleep(idle / 6)
+	}
+}

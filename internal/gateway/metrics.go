@@ -70,13 +70,14 @@ func newGWMetrics(reg *obs.Registry, policy string, stripes int) *gwMetrics {
 	}
 	m.accepts = reg.Counter("dynbw_gateway_accepts_total", "Connections accepted.")
 	m.acceptErrors = reg.Counter("dynbw_gateway_accept_errors_total", "Accept failures (each backs off the accept loop).")
-	m.messages = make(map[byte]*obs.Striped, 6)
+	m.messages = make(map[byte]*obs.Striped, 7)
 	for typ, label := range map[byte]string{
 		typeOpen:  "open",
 		typeData:  "data",
 		typeStats: "stats",
 		typeClose: "close",
 		typeTrace: "trace",
+		typeBatch: "batch",
 		0:         "unknown",
 	} {
 		s := obs.NewStriped(m.connStripes)

@@ -29,6 +29,13 @@ type Mux struct {
 	exchanges  uint64   // guarded by mu; requests sent since TraceEvery was set
 	nextTrace  uint64   // guarded by mu; client-minted trace IDs
 	scratch    [22]byte // guarded by mu; envelope+request assembly buffer
+	batch      []byte   // guarded by mu; BATCH frame assembly buffer, reused
+}
+
+// BatchItem is one DATA submission inside a Mux.SendBatch call.
+type BatchItem struct {
+	Session uint32
+	Bits    bw.Bits
 }
 
 // DialMux connects to a gateway without opening any session. The
@@ -142,6 +149,107 @@ func (m *Mux) Send(session uint32, bits bw.Bits) error {
 		return fmt.Errorf("gateway: send: %w", err)
 	}
 	return nil
+}
+
+// SendBatch submits DATA to many of the mux's sessions as BATCH frames
+// — one conn write per up-to-MaxBatch items instead of one per item, so
+// a fleet keeping thousands of sessions warm pays a small fraction of
+// the per-message syscall cost. Items are validated up front; the
+// assembly buffer is retained across calls. When TraceEvery is armed,
+// each item counts as a request and due items carry their TRACE
+// envelope inside the batch.
+func (m *Mux) SendBatch(items []BatchItem) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, it := range items {
+		if it.Bits < 0 {
+			return fmt.Errorf("gateway: negative send %d", it.Bits)
+		}
+		if _, ok := m.open[it.Session]; !ok {
+			return fmt.Errorf("gateway: send on unowned session %d", it.Session)
+		}
+	}
+	m.armDeadline()
+	defer m.disarmDeadline()
+	for len(items) > 0 {
+		n := len(items)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		buf := m.batch[:0]
+		buf = append(buf, typeBatch)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(n))
+		for _, it := range items[:n] {
+			if m.traceEvery > 0 {
+				if m.exchanges++; m.exchanges%m.traceEvery == 0 {
+					m.nextTrace++
+					buf = append(buf, typeTrace)
+					buf = binary.BigEndian.AppendUint64(buf, 1<<63|m.nextTrace)
+				}
+			}
+			buf = append(buf, typeData)
+			buf = binary.BigEndian.AppendUint32(buf, it.Session)
+			buf = binary.BigEndian.AppendUint64(buf, uint64(it.Bits))
+		}
+		m.batch = buf // keep the grown capacity for the next call
+		if _, err := m.conn.Write(buf); err != nil {
+			return fmt.Errorf("gateway: send batch: %w", err)
+		}
+		items = items[n:]
+	}
+	return nil
+}
+
+// StatsBatch fetches several sessions' accounting in one pipelined
+// round trip per up-to-MaxBatch sessions: one BATCH frame of STATS
+// requests goes out in a single write, the gateway coalesces the
+// replies, and they are read back in request order. The result is
+// indexed like sessions.
+func (m *Mux) StatsBatch(sessions []uint32) ([]SessionStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, s := range sessions {
+		if _, ok := m.open[s]; !ok {
+			return nil, fmt.Errorf("gateway: stats on unowned session %d", s)
+		}
+	}
+	out := make([]SessionStats, 0, len(sessions))
+	m.armDeadline()
+	defer m.disarmDeadline()
+	for len(sessions) > 0 {
+		n := len(sessions)
+		if n > MaxBatch {
+			n = MaxBatch
+		}
+		buf := m.batch[:0]
+		buf = append(buf, typeBatch)
+		buf = binary.BigEndian.AppendUint16(buf, uint16(n))
+		for _, s := range sessions[:n] {
+			buf = append(buf, typeStats)
+			buf = binary.BigEndian.AppendUint32(buf, s)
+		}
+		m.batch = buf
+		if _, err := m.conn.Write(buf); err != nil {
+			return nil, fmt.Errorf("gateway: stats batch: %w", err)
+		}
+		var reply [statsReplyLen]byte
+		for i := 0; i < n; i++ {
+			if _, err := io.ReadFull(m.conn, reply[:]); err != nil {
+				return nil, fmt.Errorf("gateway: stats batch reply %d: %w", i, err)
+			}
+			if reply[0] != typeStatsR {
+				return nil, fmt.Errorf("gateway: unexpected stats reply type %d", reply[0])
+			}
+			out = append(out, SessionStats{
+				Served:   bw.Bits(binary.BigEndian.Uint64(reply[1:])),
+				Queued:   bw.Bits(binary.BigEndian.Uint64(reply[9:])),
+				MaxDelay: bw.Tick(binary.BigEndian.Uint64(reply[17:])),
+				Changes:  int64(binary.BigEndian.Uint64(reply[25:])),
+			})
+		}
+		sessions = sessions[n:]
+	}
+	return out, nil
 }
 
 // Stats fetches one session's accounting from the gateway.

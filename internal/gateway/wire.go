@@ -10,6 +10,7 @@ import (
 	"net"
 	"time"
 
+	"dynbw/internal/bw"
 	"dynbw/internal/obs"
 )
 
@@ -25,7 +26,9 @@ const (
 // connState is one connection's session-ownership state: the stripe it
 // was assigned at accept time (where metric updates land and where the
 // OPEN slot probe starts) and the set of sessions it has opened — a
-// connection may multiplex any number of them.
+// connection may multiplex any number of them. connStates are recycled
+// through Gateway.csPool so connection churn stops allocating; getConnState
+// and putConnState own the reset protocol.
 type connState struct {
 	stripe  int // shard stripe: home shard, event-ring stripe
 	mstripe int // metrics stripe: striped counters/histograms, sampler
@@ -34,6 +37,62 @@ type connState struct {
 	// client-sent TRACE envelope to the message that follows it.
 	span    spanScratch
 	pending pendingTrace
+	// rd and wr are the connection's pooled buffered endpoints; replies
+	// accumulate in wr and leave in one write when the read side would
+	// block (see handle).
+	rd *bufio.Reader
+	wr *bufio.Writer
+	// armedAt is when the connection deadline was last armed; the
+	// SetDeadline syscall is refreshed only once deadlineStale says a
+	// meaningful fraction of idleTimeout has passed.
+	armedAt time.Time
+	// groups accumulates batched DATA updates per shard, so one BATCH
+	// frame takes each shard lock once instead of once per message. Slots
+	// are resolved under the shard lock at flush time (a concurrent
+	// rebalance may move a session between parse and apply).
+	groups [][]pendingAdd
+	// scratch backs every header/body read and reply assembly on the
+	// wire path. Reading into a function-local array through the
+	// io.Reader interface makes the array escape — one heap allocation
+	// per message; reading into connection state costs nothing.
+	scratch [statsReplyLen]byte
+}
+
+// pendingAdd is one batched DATA update awaiting its shard-group apply.
+type pendingAdd struct {
+	id   int32 // wire session ID; resolved to a slot under the shard lock
+	bits int64
+}
+
+// getConnState checks a recycled connState out of the pool (or builds a
+// fresh one) and binds it to a new connection's stripes.
+func (g *Gateway) getConnState(stripe, mstripe int) *connState {
+	cs, _ := g.csPool.Get().(*connState)
+	if cs == nil {
+		cs = &connState{
+			owned:  make(map[int]struct{}),
+			rd:     bufio.NewReaderSize(nil, connReadBufSize),
+			wr:     bufio.NewWriterSize(nil, connWriteBufSize),
+			groups: make([][]pendingAdd, len(g.shards)),
+		}
+	}
+	cs.stripe, cs.mstripe = stripe, mstripe
+	return cs
+}
+
+// putConnState scrubs per-connection state and returns it to the pool.
+// The buffered endpoints keep their storage but drop the conn reference.
+func (g *Gateway) putConnState(cs *connState) {
+	clear(cs.owned)
+	cs.span = spanScratch{}
+	cs.pending = pendingTrace{}
+	cs.armedAt = time.Time{}
+	for i := range cs.groups {
+		cs.groups[i] = cs.groups[i][:0]
+	}
+	cs.rd.Reset(nil)
+	cs.wr.Reset(io.Discard)
+	g.csPool.Put(cs)
 }
 
 // logSession picks a representative session ID for diagnostics: the
@@ -93,12 +152,15 @@ func (g *Gateway) acceptLoop() {
 }
 
 // handle serves one client connection: a deadline-bounded loop of
-// handleMessage calls. On exit every session the connection still owns
-// is released.
+// handleMessage calls over pooled buffered endpoints. Replies accumulate
+// in the connection's write buffer and are flushed only when the read
+// side would block (no complete pipelined input left), so a burst of
+// requests — or a BATCH frame — costs one reply write instead of one per
+// message. On exit every session the connection still owns is released.
 func (g *Gateway) handle(conn net.Conn, stripe, mstripe int) {
 	defer g.wg.Done()
 	defer conn.Close()
-	cs := &connState{stripe: stripe, mstripe: mstripe, owned: make(map[int]struct{})}
+	cs := g.getConnState(stripe, mstripe)
 	home := g.shards[stripe]
 	defer func() {
 		for id := range cs.owned {
@@ -108,21 +170,43 @@ func (g *Gateway) handle(conn net.Conn, stripe, mstripe int) {
 		delete(home.conns, conn)
 		home.mu.Unlock()
 		g.m.conns.Add(-1)
+		g.putConnState(cs)
 	}()
-	br := bufio.NewReaderSize(conn, 512)
+	cs.rd.Reset(conn)
+	cs.wr.Reset(conn)
 	for {
 		if g.idleTimeout > 0 {
-			// One deadline per message covers both the read of the next
-			// request and the write of its reply.
-			if err := conn.SetDeadline(time.Now().Add(g.idleTimeout)); err != nil {
-				return
+			// The deadline covers both the read of the next request and
+			// the write of its reply; re-arming is amortized to at most a
+			// few SetDeadline syscalls per idle period.
+			if now := time.Now(); deadlineStale(cs.armedAt, now, g.idleTimeout) {
+				if err := conn.SetDeadline(now.Add(g.idleTimeout)); err != nil {
+					return
+				}
+				cs.armedAt = now
 			}
 		}
-		if err := g.handleMessage(br, conn, cs); err != nil {
+		if err := g.handleMessage(cs.rd, cs.wr, cs); err != nil {
+			cs.wr.Flush() // best effort: replies already owed to the peer
 			g.observeDisconnect(conn, err, cs)
 			return
 		}
+		if cs.rd.Buffered() == 0 {
+			if err := cs.wr.Flush(); err != nil {
+				g.observeDisconnect(conn, err, cs)
+				return
+			}
+		}
 	}
+}
+
+// deadlineStale reports whether the connection deadline armed at armedAt
+// must be refreshed at now: only once a quarter of the idle timeout has
+// elapsed. This amortizes the SetDeadline syscall across messages while
+// guaranteeing an idle client is cut off after at most one full (and at
+// least 3/4 of an) idleTimeout of silence.
+func deadlineStale(armedAt, now time.Time, idleTimeout time.Duration) bool {
+	return now.Sub(armedAt) >= idleTimeout/4
 }
 
 // observeDisconnect classifies why a connection handler is exiting and
@@ -179,42 +263,173 @@ func (g *Gateway) releaseSession(id int) {
 	g.m.sessions.Add(-1)
 }
 
-// handleMessage reads exactly one message from r, applies it, and writes
-// any reply to w. cs tracks the sessions owned by this connection;
-// handleMessage updates it on OPEN and CLOSE. A non-nil error (read
-// failure or protocol violation) means the connection must be dropped.
-// The function is the entire wire-facing surface of the gateway and is
-// fuzzed by FuzzHandleMessage.
+// handleMessage reads exactly one wire unit from r — a single message,
+// or a whole BATCH frame — applies it, and writes any replies to w. cs
+// tracks the sessions owned by this connection; handleMessage updates it
+// on OPEN and CLOSE. A non-nil error (read failure or protocol
+// violation) means the connection must be dropped. The function is the
+// entire wire-facing surface of the gateway and is fuzzed by
+// FuzzHandleMessage.
 //
 // bwlint:hotpath
 func (g *Gateway) handleMessage(r io.Reader, w io.Writer, cs *connState) error {
-	var typ [1]byte
-	if _, err := io.ReadFull(r, typ[:]); err != nil {
+	if _, err := io.ReadFull(r, cs.scratch[:1]); err != nil {
 		return err
 	}
-	if typ[0] == typeTrace {
+	typ := cs.scratch[0]
+	if typ == typeBatch {
+		return g.handleBatch(r, w, cs)
+	}
+	return g.handleOne(r, w, cs, typ, false)
+}
+
+// handleOne handles one logical message whose type byte has been read,
+// unwrapping a TRACE envelope if present. Inside a BATCH frame
+// (inBatch) a plain DATA message is not applied immediately: it is
+// accumulated into the per-shard groups and applied by the next
+// flushBatchData call, so one batch takes each shard lock once.
+// Sampled/client-traced DATA skips the group (its span wants real
+// dispatch/apply stages); that is safe because DATA updates commute —
+// ordering only matters against non-DATA messages, which flush first.
+//
+// bwlint:hotpath
+func (g *Gateway) handleOne(r io.Reader, w io.Writer, cs *connState, typ byte, inBatch bool) error {
+	if typ == typeTrace {
 		// A TRACE envelope is not a message: read the trace ID, then
 		// require the real message immediately behind it. Nesting
-		// envelopes is a protocol violation.
-		var tb [8]byte
-		if _, err := io.ReadFull(r, tb[:]); err != nil {
+		// envelopes — or wrapping a BATCH frame — is a protocol violation.
+		if _, err := io.ReadFull(r, cs.scratch[:8]); err != nil {
 			return err
 		}
 		g.m.message(typeTrace).Inc(cs.mstripe)
-		cs.pending = pendingTrace{id: binary.BigEndian.Uint64(tb[:]), set: true}
-		if _, err := io.ReadFull(r, typ[:]); err != nil {
+		cs.pending = pendingTrace{id: binary.BigEndian.Uint64(cs.scratch[:8]), set: true}
+		if _, err := io.ReadFull(r, cs.scratch[:1]); err != nil {
 			return err
 		}
-		if typ[0] == typeTrace {
+		if cs.scratch[0] == typeTrace {
 			// bwlint:allocok cold: protocol violation drops the connection
 			return fmt.Errorf("%w: nested TRACE envelope", errProtocol)
 		}
+		if cs.scratch[0] == typeBatch {
+			// bwlint:allocok cold: protocol violation drops the connection
+			return fmt.Errorf("%w: TRACE envelope wrapping a BATCH frame", errProtocol)
+		}
+		typ = cs.scratch[0]
 	}
-	g.m.message(typ[0]).Inc(cs.mstripe)
-	g.spanBegin(cs, typ[0])
-	err := g.applyMessage(r, w, cs, typ[0])
+	g.m.message(typ).Inc(cs.mstripe)
+	if inBatch && typ != typeData {
+		// Ordering barrier: a non-DATA message must observe every batched
+		// DATA update that preceded it in the stream (e.g. DATA then
+		// CLOSE on the same session).
+		g.flushBatchData(cs)
+	}
+	g.spanBegin(cs, typ)
+	var err error
+	if inBatch && typ == typeData && !cs.span.sampled {
+		err = g.batchData(r, cs)
+	} else {
+		err = g.applyMessage(r, w, cs, typ)
+	}
 	g.spanEnd(cs, err)
 	return err
+}
+
+// handleBatch drains one BATCH frame: a big-endian uint16 count of
+// logical messages (TRACE envelopes ride in front of the message they
+// wrap and do not count), each handled in stream order with DATA
+// grouped per shard, then one flush applying every group under a single
+// lock acquisition per shard. An empty batch is a legal no-op; a count
+// above MaxBatch or a nested BATCH is a protocol violation. On a
+// mid-batch error the unapplied groups are discarded — the connection
+// is dropped, voiding the rest of the batch.
+//
+// bwlint:hotpath
+func (g *Gateway) handleBatch(r io.Reader, w io.Writer, cs *connState) error {
+	if _, err := io.ReadFull(r, cs.scratch[:2]); err != nil {
+		return err
+	}
+	n := int(binary.BigEndian.Uint16(cs.scratch[:2]))
+	if n > MaxBatch {
+		// bwlint:allocok cold: protocol violation drops the connection
+		return fmt.Errorf("%w: BATCH count %d exceeds %d", errProtocol, n, MaxBatch)
+	}
+	g.m.message(typeBatch).Inc(cs.mstripe)
+	if cs.groups == nil {
+		// Pooled connStates arrive sized; this covers bare (fuzz/test)
+		// ones. bwlint:allocok once per connState, reused afterwards
+		cs.groups = make([][]pendingAdd, len(g.shards))
+	}
+	for i := 0; i < n; i++ {
+		if _, err := io.ReadFull(r, cs.scratch[:1]); err != nil {
+			return err
+		}
+		typ := cs.scratch[0]
+		if typ == typeBatch {
+			// bwlint:allocok cold: protocol violation drops the connection
+			return fmt.Errorf("%w: nested BATCH frame", errProtocol)
+		}
+		if err := g.handleOne(r, w, cs, typ, true); err != nil {
+			return err
+		}
+	}
+	g.flushBatchData(cs)
+	return nil
+}
+
+// batchData parses one DATA message inside a BATCH frame and appends it
+// to its shard's group, deferring the shard-lock acquisition to the next
+// flushBatchData call. Validation (ownership, sign) happens here, at
+// parse time, exactly as on the unbatched path.
+//
+// bwlint:hotpath
+func (g *Gateway) batchData(r io.Reader, cs *connState) error {
+	if _, err := io.ReadFull(r, cs.scratch[:12]); err != nil {
+		return err
+	}
+	g.spanMark(cs, stageRead)
+	id := int(binary.BigEndian.Uint32(cs.scratch[0:]))
+	bits := int64(binary.BigEndian.Uint64(cs.scratch[4:12]))
+	if _, ok := cs.owned[id]; !ok || bits < 0 {
+		// bwlint:allocok cold: protocol violation drops the connection
+		return fmt.Errorf("%w: DATA session=%d bits=%d (owns %d sessions)", errProtocol, id, bits, len(cs.owned))
+	}
+	cs.span.sess = id
+	si := g.shardOf(id).idx
+	// bwlint:allocok amortized: group capacity grows to the largest batch seen, then sticks (pooled)
+	cs.groups[si] = append(cs.groups[si], pendingAdd{id: int32(id), bits: bits})
+	g.spanMark(cs, stageDispatch)
+	return nil
+}
+
+// flushBatchData applies every accumulated batched-DATA group, one
+// shard-lock acquisition per shard with entries. Slots are resolved
+// under the lock so a concurrent rebalance cannot stale them. The
+// per-group apply duration lands in the apply-stage histogram once per
+// group — batched messages share the lock round, so they share its
+// stage sample.
+//
+// bwlint:hotpath
+func (g *Gateway) flushBatchData(cs *connState) {
+	for si := range cs.groups {
+		grp := cs.groups[si]
+		if len(grp) == 0 {
+			continue
+		}
+		sh := g.shards[si]
+		var start time.Time
+		if g.m.exchange != nil {
+			start = time.Now()
+		}
+		sh.mu.Lock()
+		for _, a := range grp {
+			sh.pending[sh.slot(int(a.id))] += bw.Bits(a.bits)
+		}
+		sh.mu.Unlock()
+		if g.m.exchange != nil {
+			g.m.stages[stageApply].Observe(cs.mstripe, int64(time.Since(start)))
+		}
+		cs.groups[si] = grp[:0]
+	}
 }
 
 // applyMessage dispatches one message whose type byte has been read,
@@ -242,21 +457,19 @@ func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte
 		cs.owned[id] = struct{}{} // bwlint:allocok OPEN only, bounded by the slot limit
 		cs.span.sess = id
 		g.emitAt(g.shardOf(id).idx, obs.Event{Type: obs.EventSessionOpen, Session: id})
-		var reply [5]byte
-		reply[0] = typeOpened
-		binary.BigEndian.PutUint32(reply[1:], uint32(id))
-		if _, err := w.Write(reply[:]); err != nil {
+		cs.scratch[0] = typeOpened
+		binary.BigEndian.PutUint32(cs.scratch[1:5], uint32(id))
+		if _, err := w.Write(cs.scratch[:5]); err != nil {
 			return err
 		}
 		g.spanMark(cs, stageWrite)
 	case typeData:
-		var body [12]byte
-		if _, err := io.ReadFull(r, body[:]); err != nil {
+		if _, err := io.ReadFull(r, cs.scratch[:12]); err != nil {
 			return err
 		}
 		g.spanMark(cs, stageRead)
-		id := int(binary.BigEndian.Uint32(body[0:]))
-		bits := int64(binary.BigEndian.Uint64(body[4:]))
+		id := int(binary.BigEndian.Uint32(cs.scratch[0:]))
+		bits := int64(binary.BigEndian.Uint64(cs.scratch[4:12]))
 		if _, ok := cs.owned[id]; !ok || bits < 0 {
 			// bwlint:allocok cold: protocol violation drops the connection
 			return fmt.Errorf("%w: DATA session=%d bits=%d (owns %d sessions)", errProtocol, id, bits, len(cs.owned))
@@ -269,12 +482,11 @@ func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte
 		sh.mu.Unlock()
 		g.spanMark(cs, stageApply)
 	case typeStats:
-		var body [4]byte
-		if _, err := io.ReadFull(r, body[:]); err != nil {
+		if _, err := io.ReadFull(r, cs.scratch[:4]); err != nil {
 			return err
 		}
 		g.spanMark(cs, stageRead)
-		id := int(binary.BigEndian.Uint32(body[:]))
+		id := int(binary.BigEndian.Uint32(cs.scratch[:4]))
 		if _, ok := cs.owned[id]; !ok {
 			// bwlint:allocok cold: protocol violation drops the connection
 			return fmt.Errorf("%w: STATS session=%d (owns %d sessions)", errProtocol, id, len(cs.owned))
@@ -290,23 +502,21 @@ func (g *Gateway) applyMessage(r io.Reader, w io.Writer, cs *connState, typ byte
 		changes := sh.scheds[slot].Changes()
 		sh.mu.Unlock()
 		g.spanMark(cs, stageApply)
-		var reply [statsReplyLen]byte
-		reply[0] = typeStatsR
-		binary.BigEndian.PutUint64(reply[1:], uint64(served))
-		binary.BigEndian.PutUint64(reply[9:], uint64(queued))
-		binary.BigEndian.PutUint64(reply[17:], uint64(maxDelay))
-		binary.BigEndian.PutUint64(reply[25:], uint64(changes))
-		if _, err := w.Write(reply[:]); err != nil {
+		cs.scratch[0] = typeStatsR
+		binary.BigEndian.PutUint64(cs.scratch[1:], uint64(served))
+		binary.BigEndian.PutUint64(cs.scratch[9:], uint64(queued))
+		binary.BigEndian.PutUint64(cs.scratch[17:], uint64(maxDelay))
+		binary.BigEndian.PutUint64(cs.scratch[25:], uint64(changes))
+		if _, err := w.Write(cs.scratch[:statsReplyLen]); err != nil {
 			return err
 		}
 		g.spanMark(cs, stageWrite)
 	case typeClose:
-		var body [4]byte
-		if _, err := io.ReadFull(r, body[:]); err != nil {
+		if _, err := io.ReadFull(r, cs.scratch[:4]); err != nil {
 			return err
 		}
 		g.spanMark(cs, stageRead)
-		id := int(binary.BigEndian.Uint32(body[:]))
+		id := int(binary.BigEndian.Uint32(cs.scratch[:4]))
 		if _, ok := cs.owned[id]; !ok {
 			// bwlint:allocok cold: protocol violation drops the connection
 			return fmt.Errorf("%w: CLOSE session=%d (owns %d sessions)", errProtocol, id, len(cs.owned))

@@ -59,6 +59,10 @@ func NewHotpath() *Hotpath {
 		"dynbw/internal/bw.Cursor.At",
 		"dynbw/internal/bw.Cursor.Integral",
 		"dynbw/internal/gateway.Gateway.handleMessage",
+		"dynbw/internal/gateway.Gateway.handleOne",
+		"dynbw/internal/gateway.Gateway.handleBatch",
+		"dynbw/internal/gateway.Gateway.batchData",
+		"dynbw/internal/gateway.Gateway.flushBatchData",
 		"dynbw/internal/gateway.Gateway.applyMessage",
 		"dynbw/internal/gateway.shard.tick",
 	}}

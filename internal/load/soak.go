@@ -46,6 +46,13 @@ type SoakConfig struct {
 	// each multiplexed connection in a TRACE envelope, forcing the
 	// gateway to record a client-tagged span for it (0: no envelopes).
 	TraceEvery int
+	// Batch, when > 1, coalesces plateau traffic into BATCH wire frames
+	// of up to Batch messages: sends go out via Mux.SendBatch and stats
+	// polls via Mux.StatsBatch, so each plateau pass costs a handful of
+	// writes per connection instead of one per sampled session. StatsPoll
+	// then records one observation per batched poll round trip rather
+	// than one per session.
+	Batch int
 }
 
 // SoakResult is the accounting of one soak run.
@@ -157,15 +164,43 @@ func Soak(cfg SoakConfig) (SoakResult, error) {
 			m, ids := muxes[c], sessions[c]
 			var localSent int64
 			var localPolls metrics.Histogram
+			var items []gateway.BatchItem // reused batched-send scratch
+			var polls []uint32            // reused batched-poll scratch
 			for pass := 0; time.Now().Before(deadline); pass++ {
-				for i, id := range ids {
-					if (i+pass)%cfg.SampleEvery == 0 {
-						if err := m.Send(id, cfg.SendBits); err == nil {
-							localSent += int64(cfg.SendBits)
+				if cfg.Batch > 1 {
+					// Batched plateau: gather this pass's sampled sessions,
+					// then send and poll them in BATCH frames of up to
+					// cfg.Batch messages each.
+					items, polls = items[:0], polls[:0]
+					for i, id := range ids {
+						if (i+pass)%cfg.SampleEvery == 0 {
+							items = append(items, gateway.BatchItem{Session: id, Bits: cfg.SendBits})
+							polls = append(polls, id)
+						}
+					}
+					for off := 0; off < len(items); off += cfg.Batch {
+						end := off + cfg.Batch
+						if end > len(items) {
+							end = len(items)
+						}
+						if err := m.SendBatch(items[off:end]); err == nil {
+							localSent += int64(cfg.SendBits) * int64(end-off)
 						}
 						t0 := time.Now()
-						if _, err := m.Stats(id); err == nil {
+						if _, err := m.StatsBatch(polls[off:end]); err == nil {
 							localPolls.Observe(int64(time.Since(t0)))
+						}
+					}
+				} else {
+					for i, id := range ids {
+						if (i+pass)%cfg.SampleEvery == 0 {
+							if err := m.Send(id, cfg.SendBits); err == nil {
+								localSent += int64(cfg.SendBits)
+							}
+							t0 := time.Now()
+							if _, err := m.Stats(id); err == nil {
+								localPolls.Observe(int64(time.Since(t0)))
+							}
 						}
 					}
 				}

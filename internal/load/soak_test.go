@@ -80,6 +80,56 @@ func TestSoakHoldsSessionsOnShardedHost(t *testing.T) {
 	}
 }
 
+// TestSoakBatchedPlateau: the batched plateau (SendBatch/StatsBatch
+// wire frames) holds the same session count and still exercises sends
+// and stats polls, with the gateway counting BATCH frames.
+func TestSoakBatchedPlateau(t *testing.T) {
+	slots, perConn := 256, 32
+	if testing.Short() {
+		slots, perConn = 64, 16
+	}
+	reg := obs.NewRegistry()
+	h, err := StartHost(HostConfig{
+		Policy:   "phased",
+		Slots:    slots,
+		Shards:   4,
+		Tick:     time.Millisecond,
+		Registry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	res, err := Soak(SoakConfig{
+		Addr:        h.Addr(),
+		Sessions:    slots,
+		PerConn:     perConn,
+		Hold:        200 * time.Millisecond,
+		SampleEvery: 4,
+		Batch:       8,
+		Registry:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions != slots {
+		t.Fatalf("held %d of %d sessions", res.Sessions, slots)
+	}
+	if res.Sent == 0 {
+		t.Error("batched plateau sent nothing")
+	}
+	if res.StatsPoll.Count == 0 {
+		t.Error("no batched stats polls recorded")
+	}
+	if !strings.Contains(res.MidScrape, `dynbw_gateway_messages_total{type="batch"}`) {
+		t.Error("mid-plateau scrape missing the batch message counter")
+	}
+	if strings.Contains(res.MidScrape, `dynbw_gateway_messages_total{type="batch"} 0`) {
+		t.Error("gateway counted zero BATCH frames during a batched plateau")
+	}
+}
+
 func TestSoakValidation(t *testing.T) {
 	if _, err := Soak(SoakConfig{Sessions: 0}); err == nil {
 		t.Error("sessions=0 accepted")
